@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the compiler itself (not a paper figure).
+
+These time the reproduction's own pipeline — frontend, shift
+placement, code generation, passes, and VM throughput — so regressions
+in the implementation show up in ``pytest benchmarks/``.
+"""
+
+import random
+
+from repro.bench import SynthParams, synthesize
+from repro.ir import figure1_loop
+from repro.lang import compile_source
+from repro.machine import RunBindings, run_vector
+from repro.simdize import SimdOptions, fill_random, make_space, simdize
+
+SRC = """
+int a[128];
+int b[128];
+int c[128];
+for (i = 0; i < 100; i++) {
+    a[i + 3] = b[i + 1] + c[i + 2];
+}
+"""
+
+
+def test_frontend_throughput(benchmark):
+    loop = benchmark(compile_source, SRC)
+    assert loop.upper == 100
+
+
+def test_simdize_figure1_dominant_sp(benchmark):
+    loop = figure1_loop()
+    options = SimdOptions(policy="dominant", reuse="sp", unroll=4)
+    result = benchmark(simdize, loop, 16, options)
+    assert result.program.steady is not None
+
+
+def test_simdize_large_loop(benchmark):
+    params = SynthParams(loads=8, statements=4, trip=997, reuse=0.5)
+    loop = synthesize(params, seed=0).loop
+    options = SimdOptions(policy="dominant", reuse="pc", unroll=4,
+                          offset_reassoc=True)
+    result = benchmark(simdize, loop, 16, options)
+    assert result.shift_count > 0
+
+
+def test_vm_throughput(benchmark):
+    loop = figure1_loop(trip=100)
+    result = simdize(loop, options=SimdOptions(reuse="sp", unroll=4))
+    rng = random.Random(0)
+    space = make_space(loop, 16, rng)
+    mem = space.make_memory()
+    fill_random(space, mem, rng)
+
+    def run():
+        return run_vector(result.program, space, mem.clone(), RunBindings())
+
+    out = benchmark(run)
+    assert not out.used_fallback

@@ -1,0 +1,28 @@
+"""Regenerate the paper's Section 5.4 coverage analysis.
+
+Paper reference: "More than a thousand loops were generated with
+varying (l, s, n, b, r) parameters … Our compiler simdized all the
+loops.  The generated binaries were simulated on a cycle-accurate
+simulator, and the results were verified."
+
+The full configuration (REPRO_FULL=1) runs 1000 loops with trip counts
+in [997, 1000], up to 8 loads per statement and 4 statements, random
+bias/reuse, random policies and optimization combinations; the scaled
+configuration runs fewer loops with shorter trips.
+"""
+
+from repro.bench import coverage_sweep
+
+from conftest import COVERAGE_COUNT, FULL, record
+
+
+def test_coverage(benchmark):
+    trip_range = (997, 1000) if FULL else (61, 90)
+    result = benchmark.pedantic(
+        coverage_sweep,
+        kwargs=dict(count=COVERAGE_COUNT, seed=42, trip_range=trip_range),
+        rounds=1, iterations=1,
+    )
+    record("coverage", result.format())
+    assert result.all_passed, result.format()
+    assert result.simdized == COVERAGE_COUNT

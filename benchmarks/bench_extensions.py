@@ -1,0 +1,82 @@
+"""Benchmarks for the extensions beyond the paper (no paper analogue).
+
+Measures the vectorizers the paper's Section 7 lists as future work,
+with the same verification-first methodology as the paper experiments:
+
+* **reductions** — sum/min/xor accumulations over misaligned streams;
+* **iota** — counter-valued computations;
+* **compiled SSE cross-validation throughput** — how fast the full
+  export→gcc→execute→compare loop runs (skipped without a compiler).
+"""
+
+import pytest
+
+from repro import run_and_verify
+from repro.export import find_compiler
+from repro.ir import LoopBuilder
+from repro.simdize import SimdOptions, simdize
+
+from conftest import TRIP, record
+
+
+def _reduction_loop(trip: int):
+    lb = LoopBuilder(trip=trip, name="dot")
+    out = lb.array("out", "int32", 8)
+    x = lb.array("x", "int32", trip + 24, align=4)
+    y = lb.array("y", "int32", trip + 24, align=12)
+    lb.reduce(out, 0, "add", x[1] * y[3])
+    return lb.build()
+
+
+def _iota_loop(trip: int):
+    lb = LoopBuilder(trip=trip, name="ramp")
+    a = lb.array("a", "int16", trip + 24, align=6)
+    g = lb.scalar("gain")
+    lb.assign(a[1], lb.index_value() * g + 100)
+    return lb.build()
+
+
+def test_reduction_speedup(benchmark):
+    loop = _reduction_loop(TRIP)
+    options = SimdOptions(reuse="sp", unroll=4)
+
+    def measure():
+        program = simdize(loop, options=options).program
+        return run_and_verify(program, seed=5)
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record("ext_reduction",
+           f"dot-product reduction (int32, trip {TRIP}): "
+           f"opd={report.vector_opd:.3f}, speedup={report.speedup:.2f}x "
+           f"(peak 4)")
+    assert report.speedup > 1.3
+
+
+def test_iota_speedup(benchmark):
+    loop = _iota_loop(TRIP)
+    options = SimdOptions(reuse="sp", unroll=4)
+
+    def measure():
+        program = simdize(loop, options=options).program
+        return run_and_verify(program, seed=5, scalars={"gain": 3})
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record("ext_iota",
+           f"counter-valued ramp (int16, trip {TRIP}): "
+           f"opd={report.vector_opd:.3f}, speedup={report.speedup:.2f}x "
+           f"(peak 8)")
+    assert report.speedup > 2.0
+
+
+@pytest.mark.skipif(find_compiler() is None, reason="no C compiler")
+def test_compiled_cross_validation_roundtrip(benchmark):
+    from repro.export import cross_validate
+    from repro.ir import figure1_loop
+
+    loop = figure1_loop(trip=100)
+    options = SimdOptions(policy="dominant", reuse="sp", unroll=2)
+    report = benchmark.pedantic(
+        lambda: cross_validate(loop, options), rounds=1, iterations=1)
+    record("ext_crossval",
+           f"export→gcc→run→byte-compare roundtrip: {report.output}")
+    assert report.passed

@@ -1,0 +1,38 @@
+"""Regenerate paper Figure 11: OPD per scheme, OffsetReassoc OFF.
+
+Paper reference points (s=1, l=6 int loads, bias 30 %, SEQ = 12 opd):
+
+* best scheme ~4.022 opd, against a ~3.587 LB;
+* schemes without reuse (no PC/SP) range 5.372 - 10.182;
+* runtime-alignment ZERO ~4.963 vs its 4.750 LB;
+* the VAST-equivalent (ZERO-sp) trails the best schemes by more than
+  one operation per datum.
+"""
+
+from repro.bench import figure11
+
+from conftest import SUITE_COUNT, TRIP, record
+
+
+def test_figure11(benchmark):
+    fig = benchmark.pedantic(
+        figure11, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        rounds=1, iterations=1,
+    )
+    record("figure11", fig.format())
+
+    assert fig.seq_opd == 12.0
+    best = fig.best()
+    # best schemes sit in the paper's ~4 opd territory
+    assert best.total < 5.2
+    # no-reuse schemes are much worse; worst lands near the paper's 10.182
+    no_reuse = [fig.bar(l) for l in ("ZERO", "EAGER", "LAZY", "DOM")]
+    assert min(b.total for b in no_reuse) > best.total
+    assert max(b.total for b in no_reuse) > 8.0
+    # zero-shift never shows shift overhead above its LB (deterministic)
+    assert fig.bar("ZERO-sp").shift_overhead < 0.25
+    # runtime zero-shift LB reproduces the paper's 4.750
+    rt = fig.bar("ZERO-sp(runtime)")
+    assert abs(rt.lb - 4.75) < 0.15
+    # the VAST-equivalent trails the best scheme (paper: >1 opd worse)
+    assert fig.bar("ZERO-sp").total > best.total + 0.5

@@ -1,0 +1,30 @@
+"""Regenerate paper Figure 12: OPD per scheme, OffsetReassoc ON.
+
+Paper reference: reassociation "enables lazy-shift and dominant-shift
+to have on average no shift overhead over LB", dropping the top three
+schemes to 3.823 / 3.963 / 3.963 opd from 4.022 / 4.13 / 4.164 in
+Figure 11.
+"""
+
+from repro.bench import figure11, figure12
+
+from conftest import SUITE_COUNT, TRIP, record
+
+
+def test_figure12(benchmark):
+    fig = benchmark.pedantic(
+        figure12, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        rounds=1, iterations=1,
+    )
+    record("figure12", fig.format())
+
+    # lazy/dominant shift overhead collapses to ~zero over the LB
+    assert fig.bar("LAZY-pc").shift_overhead < 0.08
+    assert fig.bar("LAZY-sp").shift_overhead < 0.08
+    assert fig.bar("DOM-sp").shift_overhead < 0.15
+    # and the best schemes improve over the Figure 11 configuration
+    fig11 = figure11(count=SUITE_COUNT, trip=TRIP)
+    assert fig.bar("LAZY-pc").total < fig11.bar("LAZY-pc").total
+    assert fig.bar("DOM-sp").total <= fig11.bar("DOM-sp").total + 1e-9
+    # eager cannot benefit (it never delays shifts), zero is untouched
+    assert abs(fig.bar("ZERO-sp").total - fig11.bar("ZERO-sp").total) < 0.05

@@ -1,0 +1,43 @@
+"""Regenerate paper Table 1: speedups with 4 int32 elements per vector.
+
+Paper reference (best compile-time / runtime speedups, peak 4):
+
+    S1*L2  LAZY-pc 2.72 (LB 3.17)   ZERO-pc 2.15 (LB 2.36)
+    S1*L4  LAZY-pc 3.02 (LB 3.27)   ZERO-pc 2.35 (LB 2.51)
+    S1*L6  LAZY-pc 3.14 (LB 3.35)   ZERO-pc 2.42 (LB 2.54)
+    S2*L4  DOM-sp  3.42 (LB 3.64)   ZERO-sp 2.47 (LB 2.68)
+    S4*L4  LAZY-sp 3.47 (LB 3.64)   ZERO-sp 2.43 (LB 2.69)
+    S4*L8  DOM-sp  3.71 (LB 3.93)   ZERO-sp 2.17 (LB 2.78)
+
+Expected reproduction shape: speedups grow with loop size toward ~3.7,
+runtime columns trail compile-time ones, LB speedups track the paper's
+closely (they are layout-determined, not machine-determined).
+"""
+
+from repro.bench import table1
+
+from conftest import SUITE_COUNT, TRIP, record
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        table1, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        rounds=1, iterations=1,
+    )
+    record("table1", result.format())
+
+    rows = {row.label: row for row in result.rows}
+    # Shape assertions against the paper:
+    # (1) bigger loops reach higher best speedups than the smallest;
+    assert rows["S4*L8"].compile_best.speedup > rows["S1*L2"].compile_best.speedup
+    # (2) every best speedup is a genuine speedup below peak;
+    for row in result.rows:
+        assert 1.0 < row.compile_best.speedup < 4.0
+        assert 1.0 < row.runtime_best.speedup < 4.0
+    # (3) compile-time alignment beats runtime alignment everywhere;
+    for row in result.rows:
+        assert row.compile_best.speedup > row.runtime_best.speedup
+    # (4) the larger rows get within striking distance of peak (paper: 3.71/4)
+    assert rows["S4*L8"].compile_best.speedup > 2.8
+    # (5) LB speedups land near the paper's layout-determined values.
+    assert 3.0 < rows["S1*L6"].compile_best.lb_speedup < 3.7

@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper table/figure has a regeneration benchmark here.  Two
+configurations exist:
+
+* the default, scaled-down configuration (fewer loops per suite and
+  shorter trip counts) keeps a full ``pytest benchmarks/`` run in the
+  minutes range;
+* ``REPRO_FULL=1`` switches to the paper-scale configuration (50 loops
+  per suite, trip counts around 1000) used for the results recorded in
+  ``EXPERIMENTS.md``.
+
+Each benchmark prints the regenerated rows/bars to stdout (run pytest
+with ``-s`` to see them) and appends them to
+``benchmarks/results/*.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: loops per suite and trip count for the two configurations.
+SUITE_COUNT = 50 if FULL else 6
+TRIP = 997 if FULL else 257
+COVERAGE_COUNT = 1000 if FULL else 120
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print regenerated results and persist them under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    config = "full" if FULL else "scaled"
+    path = RESULTS_DIR / f"{name}.{config}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture
+def results_recorder():
+    return record

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Export simdized loops to real intrinsics C code — and prove it right.
+
+The paper's compiler emitted VMX machine code; this reproduction's
+exporter emits C with SSE (x86) or AltiVec (PowerPC) intrinsics from
+the same vector programs.  On a machine with a C compiler this script
+goes one step further: it compiles the generated SSE code and runs it
+on an arena whose array placement matches the virtual machine's, then
+byte-compares the result against the scalar reference — real 16-byte
+SIMD hardware executing the paper's algorithms.
+"""
+
+from repro import SimdOptions, compile_source, simdize
+from repro.export import cross_validate, export_c, find_compiler
+
+SOURCE = """
+int a[256];
+int b[256];
+int c[256];
+for (i = 0; i < 200; i++) {
+    a[i + 3] = b[i + 1] + c[i + 2];
+}
+"""
+
+
+def main() -> None:
+    loop = compile_source(SOURCE, name="fig1")
+    options = SimdOptions(policy="dominant", reuse="sp", unroll=2)
+    program = simdize(loop, options=options).program
+
+    sse = export_c(program, backend="sse")
+    altivec = export_c(program, backend="altivec")
+
+    print("=== SSE emission (excerpt) ===")
+    for line in sse.splitlines():
+        if "_mm_" in line and "for" not in line:
+            print(line)
+    print()
+    print("=== AltiVec emission (excerpt) ===")
+    for line in altivec.splitlines():
+        if "vec_" in line and "static" not in line:
+            print(line)
+    print()
+
+    if find_compiler() is None:
+        print("no C compiler found — skipping compiled cross-validation")
+        return
+
+    for policy in ("zero", "eager", "lazy", "dominant"):
+        report = cross_validate(loop, SimdOptions(policy=policy, reuse="sp",
+                                                  unroll=2))
+        print(f"compiled SSE, {policy:9s} policy: {report.output}")
+
+    # Runtime alignment: the same binary handles any base residues.
+    runtime = compile_source("""
+        short x[512] align ?;
+        short y[512] align ?;
+        int n;
+        for (i = 0; i < n; i++) { y[i] = x[i + 3] * 2 + 1; }
+    """, name="rt_kernel")
+    report = cross_validate(runtime, SimdOptions(policy="zero", reuse="sp"),
+                            trip=400, seed=3)
+    print(f"compiled SSE, runtime alignment + bound: {report.output}")
+
+
+if __name__ == "__main__":
+    main()

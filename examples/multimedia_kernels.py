@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Multimedia kernels: the workloads the paper's introduction motivates.
+
+Multimedia extensions (AltiVec, SSE, VIS, …) were built for exactly
+these loops — filters, blends, and saturating mixes over byte/short
+pixel data — and they are full of misaligned accesses: a FIR filter
+reads ``x[i], x[i+1], …``, an alpha blend walks subwindows that start
+anywhere.  This example simdizes three such kernels:
+
+* a 4-tap FIR-style filter over int16 samples (8 lanes per vector);
+* an alpha blend of two uint8 images with a constant weight
+  approximated in fixed point (16 lanes per vector);
+* a "saxpy-like" scaled add over int32 with a runtime scalar
+  coefficient and deliberately misaligned windows.
+
+Every kernel is executed on the virtual SIMD machine and verified
+against scalar semantics before its metrics are reported.
+"""
+
+from repro import SimdOptions, compile_source, run_and_verify, simdize
+
+FIR = """
+// y[i] = x[i]*k0 + x[i+1]*k1 + x[i+2]*k2 + x[i+3]*k3  (int16, 8 lanes)
+short x[4096];
+short y[4096] align 6;
+short k0; short k1; short k2; short k3;
+for (i = 0; i < 4000; i++) {
+    y[i + 1] = x[i] * k0 + x[i + 1] * k1 + x[i + 2] * k2 + x[i + 3] * k3;
+}
+"""
+
+ALPHA_BLEND = """
+// saturating additive blend over misaligned subwindows
+// (uint8, 16 lanes): the classic sprite-compositing kernel.
+unsigned char imga[8192] align 3;
+unsigned char imgb[8192] align 7;
+unsigned char blend[8192] align 1;
+for (i = 0; i < 8000; i++) {
+    blend[i + 1] = sadd(imga[i + 3], ssub(imgb[i + 7], 16));
+}
+"""
+
+SAXPY_MISALIGNED = """
+// z[i+3] = alpha*x[i+1] + y[i+2]  (int32, 4 lanes; all refs misaligned)
+int x[2048];
+int y[2048];
+int z[2048];
+int alpha;
+for (i = 0; i < 2000; i++) {
+    z[i + 3] = alpha * x[i + 1] + y[i + 2];
+}
+"""
+
+KERNELS = (
+    ("fir4 (short, 8 lanes)", FIR, {"k0": 1, "k1": 3, "k2": 3, "k3": 1}),
+    ("saturating-blend (uint8, 16)", ALPHA_BLEND, {}),
+    ("saxpy-misaligned (int, 4 lanes)", SAXPY_MISALIGNED, {"alpha": 7}),
+)
+
+
+def main() -> None:
+    options = SimdOptions(policy="auto", reuse="sp", unroll=4)
+    print(f"{'kernel':32s} {'policy':9s} {'shifts':>6s} {'opd':>7s} "
+          f"{'seq':>5s} {'speedup':>8s} {'peak':>5s}")
+    for name, source, scalars in KERNELS:
+        loop = compile_source(source, name=name.split()[0])
+        result = simdize(loop, V=16, options=options)
+        report = run_and_verify(result.program, seed=7, scalars=scalars)
+        peak = 16 // loop.dtype.size
+        print(
+            f"{name:32s} {result.policy:9s} {result.shift_count:6d} "
+            f"{report.vector_opd:7.3f} {report.scalar_opd:5.1f} "
+            f"{report.speedup:7.2f}x {peak:4d}x"
+        )
+    print("\nAll kernels executed on the virtual SIMD machine and verified "
+          "byte-for-byte against scalar semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 1 & 2 and Figures 11 & 12.
+
+By default this runs a scaled-down configuration (12 loops per suite,
+trip 509) that finishes in a few minutes; set ``REPRO_FULL=1`` in the
+environment to run the paper-scale configuration (50 loops per suite,
+trip counts around 1000).
+
+The regenerated numbers to compare against the paper:
+
+* Table 1 best compile-time speedups climb from ~2.7 (S1*L2) to ~3.7
+  (S4*L8) against a peak of 4; runtime columns sit around 2.2-2.8.
+* Table 2 (8 short ints) reaches ~6 against a peak of 8.
+* Figure 11: SEQ=12; best scheme ~4.0; schemes without reuse 5.4-10.2;
+  runtime ZERO ~5.0 vs LB 4.750.
+* Figure 12 (OffsetReassoc): top schemes drop to ~3.8-4.0 with no
+  shift overhead above the lower bound for lazy/dominant.
+"""
+
+import os
+import time
+
+from repro.bench import figure11, figure12, table1, table2
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+COUNT = 50 if FULL else 12
+TRIP = 997 if FULL else 509
+
+
+def main() -> None:
+    t0 = time.time()
+    print(f"configuration: {COUNT} loops per suite, trip={TRIP} "
+          f"({'paper-scale' if FULL else 'scaled down; REPRO_FULL=1 for full'})\n")
+
+    for build in (table1, table2):
+        result = build(count=COUNT, trip=TRIP)
+        print(result.format())
+        print()
+
+    for build in (figure11, figure12):
+        result = build(count=COUNT, trip=TRIP)
+        print(result.format())
+        print()
+
+    print(f"total time: {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: simdize the paper's running example end to end.
+
+The loop from Figure 1 of the paper,
+
+    for (i = 0; i < 100; i++)
+        a[i+3] = b[i+1] + c[i+2];
+
+has *three mutually misaligned* references (byte offsets 12, 4, and 8
+with 16-byte-aligned array bases), so classic loop peeling cannot
+vectorize it — at most one reference can be made aligned.  This script
+walks the full pipeline on it:
+
+1. compile mini-C source to loop IR,
+2. place stream shifts with each policy and compare shift counts,
+3. print the generated AltiVec-style SIMD code,
+4. execute on the virtual SIMD machine, verify against scalar
+   semantics, and report the dynamic-operation speedup.
+"""
+
+from repro import SimdOptions, compile_source, format_program, run_and_verify, simdize
+
+SOURCE = """
+// Figure 1 of the paper (int32, 16-byte aligned bases)
+int a[128];
+int b[128];
+int c[128];
+for (i = 0; i < 100; i++) {
+    a[i + 3] = b[i + 1] + c[i + 2];
+}
+"""
+
+
+def main() -> None:
+    loop = compile_source(SOURCE, name="figure1")
+    print("Input loop:")
+    print(loop)
+    print()
+
+    print("Stream-shift counts per placement policy (paper Section 3.4):")
+    for policy in ("zero", "eager", "lazy", "dominant"):
+        result = simdize(loop, V=16, options=SimdOptions(policy=policy))
+        print(f"  {policy:9s} -> {result.shift_count} vshiftstream ops")
+    print()
+
+    options = SimdOptions(policy="lazy", reuse="sp", unroll=2)
+    result = simdize(loop, V=16, options=options)
+    print("Generated code (lazy-shift, software-pipelined, unrolled x2):")
+    print(format_program(result.program, altivec=True))
+    print()
+
+    report = run_and_verify(result.program, seed=42)
+    print("Executed on the virtual SIMD machine and verified byte-for-byte")
+    print(f"  scalar ops: {report.scalar_total}   simdized ops: {report.vector_total}")
+    print(f"  operations/datum: {report.vector_opd:.3f}  (ideal scalar: {report.scalar_opd:.1f})")
+    print(f"  speedup: {report.speedup:.2f}x  (peak would be 4x for int32)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Runtime alignments and unknown loop bounds (paper Section 4.4).
+
+A library routine receives pointers whose alignment is only known when
+it is called, and a trip count that is a parameter:
+
+    void add_windows(int *a, int *b, int *c, int n)
+        for (i = 0; i < n; i++) a[i] = b[i] + c[i];
+
+The compiler cannot prove anything about ``b``/``c``/``a`` alignment,
+so only the zero-shift policy is usable (its shift *directions* are
+fixed at compile time: loads shift left to offset 0, stores shift
+right from 0).  The generated code computes the actual offsets at
+runtime by masking the base addresses with ``V-1``, and guards the
+whole vector path with ``ub > 3B``, falling back to the scalar loop
+for short trips.
+
+This script simdizes the routine once and then runs that single
+program against many different runtime situations: every combination
+of base alignments, and trip counts from degenerate (guarded) to
+large.
+"""
+
+import random
+
+from repro import (
+    RunBindings,
+    SimdOptions,
+    compile_source,
+    fill_random,
+    format_program,
+    simdize,
+    verify_equivalence,
+)
+from repro.errors import PolicyError
+from repro.machine import ArraySpace
+
+SOURCE = """
+int a[600] align ?;
+int b[600] align ?;
+int c[600] align ?;
+int n;
+for (i = 0; i < n; i++) {
+    a[i] = b[i] + c[i];
+}
+"""
+
+
+def main() -> None:
+    loop = compile_source(SOURCE, name="add_windows")
+
+    # Eager/lazy/dominant need compile-time alignments and must refuse:
+    try:
+        simdize(loop, options=SimdOptions(policy="lazy"))
+    except PolicyError as exc:
+        print(f"lazy-shift correctly refused: {exc}\n")
+
+    result = simdize(loop, options=SimdOptions(policy="zero", reuse="sp", unroll=2))
+    print("Generated code (zero-shift, runtime offsets via `base & (V-1)`):")
+    print(format_program(result.program, altivec=True))
+    print()
+
+    rng = random.Random(0)
+    runs = 0
+    fallbacks = 0
+    for trial in range(60):
+        residues = {name: rng.randrange(0, 16, 4) for name in ("a", "b", "c")}
+        trip = rng.choice([1, 3, 7, 12, 13, 40, 97, 256, 500])
+        space = ArraySpace(16)
+        space.place_all(loop.arrays(), residues)
+        mem = space.make_memory()
+        fill_random(space, mem, rng)
+        report = verify_equivalence(result.program, space, mem, RunBindings(trip=trip))
+        runs += 1
+        fallbacks += report.used_fallback
+    print(f"Verified {runs} runtime situations (random base alignments x trip "
+          f"counts); {fallbacks} took the guarded scalar fallback (trip <= 3B).")
+
+    # One headline measurement at a large trip count.
+    space = ArraySpace(16)
+    space.place_all(loop.arrays(), {"a": 4, "b": 8, "c": 12})
+    mem = space.make_memory()
+    fill_random(space, mem, random.Random(1))
+    report = verify_equivalence(result.program, space, mem, RunBindings(trip=500))
+    print(f"\nWith bases at +4/+8/+12 and n=500: opd={report.vector_opd:.3f}, "
+          f"speedup={report.speedup:.2f}x (alignments discovered at runtime).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Alignment analysis: stream offsets and their lattice."""
+
+from repro.align.analysis import (
+    distinct_alignments,
+    loop_offsets,
+    misaligned_fraction,
+    misaligned_stream_count,
+    ref_offset,
+    ref_offset_sexpr,
+)
+from repro.align.offsets import (
+    ANY,
+    AnyOffset,
+    KnownOffset,
+    Offset,
+    RuntimeOffset,
+    ZERO,
+    compatible,
+    merge,
+    merge_all,
+)
+
+__all__ = [
+    "distinct_alignments", "loop_offsets", "misaligned_fraction",
+    "misaligned_stream_count", "ref_offset", "ref_offset_sexpr",
+    "ANY", "AnyOffset", "KnownOffset", "Offset", "RuntimeOffset", "ZERO",
+    "compatible", "merge", "merge_all",
+]

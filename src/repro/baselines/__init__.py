@@ -1,0 +1,16 @@
+"""Comparison baselines: ideal scalar, loop peeling, VAST-equivalent."""
+
+from repro.baselines.peeling import (
+    PeelingMeasurement,
+    measure_peeling,
+    peeling_alignment,
+    peeling_applicable,
+)
+from repro.baselines.scalar_seq import SeqMeasurement, measure_seq
+from repro.baselines.vast import VAST_OPTIONS, vast_options
+
+__all__ = [
+    "PeelingMeasurement", "measure_peeling", "peeling_alignment",
+    "peeling_applicable", "SeqMeasurement", "measure_seq",
+    "VAST_OPTIONS", "vast_options",
+]

@@ -1,0 +1,144 @@
+"""The loop-peeling baseline (prior art: Larsen et al. / Bik et al.).
+
+"One common technique is to peel the loop until all memory references
+inside the loop become aligned.  …  However, this approach will not
+simdize the loop in Figure 1 since any peeling scheme can only make at
+most one reference in the loop aligned" — peeling applies **only**
+when every reference has the *same* compile-time misalignment.
+
+When applicable, the peeler runs ``k = (V − P)/D mod B`` original
+iterations scalar, simdizes the now-fully-aligned middle (all stream
+offsets 0, so no reorganization at all), and finishes the remainder
+scalar.  :func:`peeling_applicable` is the coverage predicate the
+comparison benchmarks use to show how rarely prior art fires on
+misaligned suites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.align.analysis import ref_offset
+from repro.align.offsets import KnownOffset
+from repro.errors import BenchError, VerificationError
+from repro.ir.expr import ArrayDecl, Loop, Ref, Statement, BinOp, Const, Expr, ScalarVar
+from repro.machine.counters import OpCounters
+from repro.machine.interp import run_vector
+from repro.machine.scalar import RunBindings, run_scalar
+from repro.simdize.driver import simdize
+from repro.simdize.options import SimdOptions
+from repro.simdize.verify import fill_random, make_space
+
+if TYPE_CHECKING:  # avoid a baselines <-> bench import cycle
+    from repro.bench.synth import SynthesizedLoop
+
+
+def peeling_alignment(loop: Loop, V: int) -> int | None:
+    """The single shared compile-time misalignment, or ``None`` when
+    references disagree (peeling inapplicable)."""
+    seen: set[int] = set()
+    for stmt in loop.statements:
+        for ref in stmt.refs():
+            off = ref_offset(ref, V)
+            if not isinstance(off, KnownOffset):
+                return None
+            seen.add(off.value)
+    if len(seen) != 1:
+        return None
+    return seen.pop()
+
+
+def peeling_applicable(loop: Loop, V: int) -> bool:
+    return peeling_alignment(loop, V) is not None
+
+
+@dataclass
+class PeelingMeasurement:
+    ops: int
+    data_count: int
+    peeled: int
+
+    @property
+    def opd(self) -> float:
+        return self.ops / self.data_count
+
+
+def _displace_expr(expr: Expr, delta: int) -> Expr:
+    if isinstance(expr, Ref):
+        return Ref(expr.array, expr.offset + delta)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _displace_expr(expr.left, delta), _displace_expr(expr.right, delta))
+    if isinstance(expr, (Const, ScalarVar)):
+        return expr
+    raise BenchError(f"unexpected expression {expr}")
+
+
+def measure_peeling(syn: "SynthesizedLoop", V: int = 16, seed: int = 0) -> PeelingMeasurement:
+    """Run the peeling simdizer on an applicable loop and count operations.
+
+    The peeled head and the remainder tail execute scalar (counted with
+    the ideal scalar cost); the aligned middle is simdized with no data
+    reorganization and verified against the scalar reference.
+    """
+    loop = syn.loop
+    if loop.runtime_upper:
+        raise BenchError("the peeling baseline here supports compile-time trips")
+    P = peeling_alignment(loop, V)
+    if P is None:
+        raise BenchError("peeling is not applicable: references disagree on alignment")
+    D = loop.dtype.size
+    B = V // D
+    k = ((V - P) // D) % B
+    trip: int = loop.upper  # type: ignore[assignment]
+
+    counters = OpCounters()
+    rng = random.Random(seed ^ 0x5EED)
+    space = make_space(loop, V, rng, syn.base_residues)
+    mem = space.make_memory()
+    fill_random(space, mem, rng)
+    reference = mem.clone()
+    run_scalar(loop, space, reference)
+
+    # Head: k scalar iterations.
+    if k:
+        head = Loop(upper=k, statements=loop.statements, name=f"{loop.name}_head",
+                    scalar_vars=loop.scalar_vars)
+        counters.merge(run_scalar(head, space, mem).counters)
+
+    # Middle: displace the loop body by k, making every reference
+    # 16-byte aligned, and simdize what is now a shift-free loop.
+    middle_trip = ((trip - k) // B) * B
+    if middle_trip > 3 * B:
+        shifted = [
+            Statement(Ref(s.target.array, s.target.offset + k), _displace_expr(s.expr, k))
+            for s in loop.statements
+        ]
+        middle = Loop(upper=middle_trip, statements=shifted, name=f"{loop.name}_mid",
+                      scalar_vars=loop.scalar_vars)
+        options = SimdOptions(policy="lazy", reuse="sp", unroll=1)
+        program = simdize(middle, V, options).program
+        assert program.static_shift_count() == 0, "peeled middle must be shift-free"
+        counters.merge(run_vector(program, space, mem).counters)
+        done = k + middle_trip
+    else:
+        done = k
+
+    # Tail: whatever is left runs scalar.
+    if done < trip:
+        tail_stmts = [
+            Statement(Ref(s.target.array, s.target.offset + done), _displace_expr(s.expr, done))
+            for s in loop.statements
+        ]
+        tail = Loop(upper=trip - done, statements=tail_stmts, name=f"{loop.name}_tail",
+                    scalar_vars=loop.scalar_vars)
+        counters.merge(run_scalar(tail, space, mem).counters)
+
+    if mem.snapshot() != reference.snapshot():
+        raise VerificationError(f"peeling execution diverged on {loop.name!r}")
+    return PeelingMeasurement(
+        ops=counters.total,
+        data_count=trip * len(loop.statements),
+        peeled=k,
+    )

@@ -1,0 +1,41 @@
+"""The SEQ baseline: idealistic scalar execution.
+
+The paper compares simdized dynamic instruction counts "to an ideal
+scalar instruction count" — one operation per load, arithmetic node,
+and store, with no address or loop overhead.  This module wraps the
+scalar reference executor with that accounting (which the executor
+already implements) under the benchmark-facing name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.machine.scalar import RunBindings, run_scalar
+from repro.simdize.verify import fill_random, make_space
+
+if TYPE_CHECKING:  # avoid a baselines <-> bench import cycle
+    from repro.bench.synth import SynthesizedLoop
+
+
+@dataclass
+class SeqMeasurement:
+    ops: int
+    data_count: int
+
+    @property
+    def opd(self) -> float:
+        return self.ops / self.data_count
+
+
+def measure_seq(syn: "SynthesizedLoop", V: int = 16, seed: int = 0) -> SeqMeasurement:
+    """Execute the loop scalar-style and report SEQ operations per datum."""
+    rng = random.Random(seed ^ 0x5EED)
+    space = make_space(syn.loop, V, rng, syn.base_residues)
+    mem = space.make_memory()
+    fill_random(space, mem, rng)
+    bindings = RunBindings(trip=syn.params.trip if syn.loop.runtime_upper else None)
+    result = run_scalar(syn.loop, space, mem, bindings)
+    return SeqMeasurement(ops=result.ops, data_count=result.data_count)

@@ -1,0 +1,20 @@
+"""The VAST-compiler baseline (paper Section 5.5 / related work [7]).
+
+"We can only conjecture, from the simdized codes produced by the
+compiler, that VAST's scheme is equivalent to our zero-shift policy
+combined with software pipelining."  This module pins that scheme as a
+named preset so the figure harness can report the ``ZERO-sp`` bar as
+the VAST-equivalent, exactly how the paper frames the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.simdize.options import SimdOptions
+
+#: VAST ~= zero-shift placement + software-pipelined reuse.
+VAST_OPTIONS = SimdOptions(policy="zero", reuse="sp")
+
+
+def vast_options(unroll: int = 1) -> SimdOptions:
+    """The VAST-equivalent scheme, optionally with unrolling applied."""
+    return SimdOptions(policy="zero", reuse="sp", unroll=unroll)

@@ -1,0 +1,134 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct quantifications of its claims:
+
+* **peeling-vs-prologue** — how often prior art's loop peeling is even
+  applicable on misaligned suites, and what our scheme delivers on the
+  same loops (paper Section 1: "any peeling scheme can only make at
+  most one reference in the loop aligned");
+* **reuse ablation** — the cost of not exploiting stream reuse
+  ("without exploiting the reuse, there can be a performance slowdown
+  of more than a factor of 2", Section 6);
+* **memnorm ablation** — the ~0.5 % across-the-board improvement of
+  memory normalization (Section 5.5);
+* **unroll ablation** — how unrolling removes the software-pipelining
+  copies (Section 4.5: "the copy operation can be easily removed by
+  unrolling the loop twice").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.peeling import measure_peeling, peeling_applicable
+from repro.bench.runner import measure_suite
+from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize_suite
+from repro.ir.types import INT32
+from repro.simdize.options import SimdOptions
+
+
+@dataclass
+class PeelingAblation:
+    total: int
+    peeling_applicable_count: int
+    peeling_opd: float | None
+    ours_opd_on_all: float
+
+    def format(self) -> str:
+        frac = self.peeling_applicable_count / self.total
+        lines = [
+            "Ablation: loop peeling (prior art) vs data-reorganization simdization",
+            f"  loops where peeling applies: {self.peeling_applicable_count}/{self.total}"
+            f" ({frac:.0%})",
+        ]
+        if self.peeling_opd is not None:
+            lines.append(f"  peeling opd on applicable loops: {self.peeling_opd:.3f}")
+        lines.append(f"  our (DOM-sp) opd on ALL loops:   {self.ours_opd_on_all:.3f}")
+        return "\n".join(lines)
+
+
+def peeling_ablation(
+    count: int = 50, trip: int = 509, loads: int = 4, bias: float = 0.3,
+    V: int = 16, base_seed: int = 0,
+) -> PeelingAblation:
+    """How often does prior-art peeling fire, and what do we get instead?"""
+    params = SynthParams(loads=loads, statements=1, trip=trip,
+                         bias=bias, reuse=0.3, dtype=INT32)
+    suite = synthesize_suite(params, count, base_seed, V)
+
+    applicable: list[SynthesizedLoop] = [
+        syn for syn in suite if peeling_applicable(syn.loop, V)
+    ]
+    peel_opd = None
+    if applicable:
+        total_ops = total_data = 0
+        for syn in applicable:
+            m = measure_peeling(syn, V, seed=syn.seed)
+            total_ops += m.ops
+            total_data += m.data_count
+        peel_opd = total_ops / total_data
+
+    ours = measure_suite(suite, SimdOptions(policy="dominant", reuse="sp", unroll=4), V)
+    return PeelingAblation(
+        total=len(suite),
+        peeling_applicable_count=len(applicable),
+        peeling_opd=peel_opd,
+        ours_opd_on_all=ours.opd,
+    )
+
+
+@dataclass
+class OptionAblation:
+    label: str
+    baseline_opd: float
+    variant_opd: float
+
+    @property
+    def ratio(self) -> float:
+        return self.variant_opd / self.baseline_opd
+
+    def format(self) -> str:
+        return (
+            f"Ablation: {self.label}: {self.baseline_opd:.3f} -> "
+            f"{self.variant_opd:.3f} opd (x{self.ratio:.2f})"
+        )
+
+
+def _suite(count: int, trip: int, V: int, base_seed: int):
+    params = SynthParams(loads=6, statements=1, trip=trip, bias=0.3,
+                         reuse=0.3, dtype=INT32)
+    return synthesize_suite(params, count, base_seed, V)
+
+
+def reuse_ablation(count: int = 25, trip: int = 509, V: int = 16,
+                   base_seed: int = 0) -> OptionAblation:
+    """SP reuse on vs off — the >2x slowdown claim of Section 6."""
+    suite = _suite(count, trip, V, base_seed)
+    with_reuse = measure_suite(suite, SimdOptions(policy="zero", reuse="sp", unroll=4), V)
+    without = measure_suite(suite, SimdOptions(policy="zero", reuse="none", unroll=4), V)
+    return OptionAblation("stream reuse (ZERO-sp vs ZERO)", with_reuse.opd, without.opd)
+
+
+def memnorm_ablation(count: int = 25, trip: int = 509, V: int = 16,
+                     base_seed: int = 0) -> OptionAblation:
+    """MemNorm on vs off — the small always-beneficial effect.
+
+    Normalization pays off when different statements reference the same
+    array at nearby offsets (their loads hit the same aligned vector),
+    so the ablation uses a high-reuse multi-statement suite.
+    """
+    params = SynthParams(loads=4, statements=4, trip=trip, bias=0.3,
+                         reuse=0.9, dtype=INT32)
+    suite = synthesize_suite(params, count, base_seed, V)
+    on = measure_suite(suite, SimdOptions(policy="lazy", reuse="pc", unroll=4, memnorm=True), V)
+    off = measure_suite(suite, SimdOptions(policy="lazy", reuse="pc", unroll=4, memnorm=False), V)
+    return OptionAblation("memory normalization (off vs on)", on.opd, off.opd)
+
+
+def unroll_ablation(count: int = 25, trip: int = 509, V: int = 16,
+                    base_seed: int = 0) -> OptionAblation:
+    """Unroll 2 vs 1 under SP — the copy-removal claim of Section 4.5."""
+    suite = _suite(count, trip, V, base_seed)
+    unrolled = measure_suite(suite, SimdOptions(policy="dominant", reuse="sp", unroll=2), V)
+    rolled = measure_suite(suite, SimdOptions(policy="dominant", reuse="sp", unroll=1), V)
+    return OptionAblation("unrolling (rolled vs unroll=2, DOM-sp)", unrolled.opd, rolled.opd)

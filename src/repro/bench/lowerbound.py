@@ -1,0 +1,138 @@
+"""The paper's operations-per-datum lower bound (Section 5.3).
+
+"The lower bound is computed based on parameters (l, s, n, b, r).  It
+accounts for the following factors.  It includes each distinct 16-byte
+aligned load and store in the loop.  The bound also accounts for a
+minimum number of data reorganizations per statement … for a statement
+with accesses of n distinct alignments, a minimum of n − 1 vshiftpair
+operations are required.  Note that for the shift-zero policy, the
+number of vshiftpair operations is fully deterministic, namely one for
+each of the m misaligned memory streams.  For that policy only, LB
+reflects m instead of n − 1.  The bound also includes the data
+computations in the loop, but explicitly ignores all architecture- and
+compiler-dependent factors such as address computation, constant
+generation, and loop overhead."
+
+The bound is computed against the *actual* memory layout (like the
+paper's, which knows the synthesizer's choices), so it also applies to
+the runtime-alignment experiments: there the zero-shift policy must
+shift **every** stream because none can be proven aligned, which is
+what makes the runtime LB higher (e.g. Figure 11's 4.750 vs the
+compile-time bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchError
+from repro.ir.expr import BinOp, Loop, Ref
+from repro.ir.types import DataType
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """Per-datum lower bound and its components (all per datum)."""
+
+    loads: float
+    stores: float
+    shifts: float
+    arith: float
+
+    @property
+    def opd(self) -> float:
+        return self.loads + self.stores + self.shifts + self.arith
+
+    @property
+    def reorg_opd(self) -> float:
+        return self.shifts
+
+
+def _residue(ref: Ref, residues: dict[str, int], V: int) -> int:
+    base = residues.get(ref.array.name)
+    if base is None:
+        if ref.array.align is None:
+            raise BenchError(
+                f"array {ref.array.name!r} is runtime-aligned; supply its "
+                "actual base residue to compute the lower bound"
+            )
+        base = ref.array.align % V
+    return base % V
+
+
+def _alignment(ref: Ref, residues: dict[str, int], V: int) -> int:
+    D = ref.array.dtype.size
+    return (_residue(ref, residues, V) + ref.offset * D) % V
+
+
+def lower_bound(
+    loop: Loop,
+    V: int,
+    zero_shift: bool = False,
+    runtime_alignment: bool = False,
+    residues: dict[str, int] | None = None,
+) -> LowerBound:
+    """The Section 5.3 OPD lower bound for a loop.
+
+    ``zero_shift`` selects the deterministic per-misaligned-stream shift
+    count; ``runtime_alignment`` marks that the compiler cannot prove
+    any stream aligned (zero-shift then shifts all of them).
+    ``residues`` gives the actual base residues of runtime-aligned
+    arrays (from the synthesizer's ground truth).
+    """
+    residues = residues or {}
+    D = loop.dtype.size
+    B = V // D
+    s = len(loop.statements)
+
+    # Distinct aligned vector streams, deduplicated loop-wide: two
+    # references share a stream of 16-byte loads when they hit the same
+    # aligned vector at every (blocked) iteration.
+    load_streams: set[tuple[str, int]] = set()
+    shift_total = 0.0
+    arith_total = 0
+
+    for stmt in loop.statements:
+        for ref in stmt.loads():
+            window = (_residue(ref, residues, V) + ref.offset * D) // V
+            load_streams.add((ref.array.name, window))
+        arith_total += sum(1 for n in stmt.expr.walk() if isinstance(n, BinOp))
+
+        if zero_shift:
+            # One shift per misaligned stream (deduplicated per
+            # statement by relative congruence: same array + congruent
+            # offsets form one shifted stream).
+            streams: dict[tuple[str, int], int] = {}
+            for ref in stmt.refs():
+                key = (ref.array.name, ref.offset % B)
+                streams[key] = _alignment(ref, residues, V)
+            if runtime_alignment:
+                shift_total += len(streams)
+            else:
+                shift_total += sum(1 for a in streams.values() if a != 0)
+        else:
+            n_align = len({_alignment(ref, residues, V) for ref in stmt.refs()})
+            shift_total += max(0, n_align - 1)
+
+    data_per_iter = B * s
+    return LowerBound(
+        loads=len(load_streams) / data_per_iter,
+        stores=s / data_per_iter,
+        shifts=shift_total / data_per_iter,
+        arith=arith_total / data_per_iter,
+    )
+
+
+def seq_opd(loop: Loop) -> float:
+    """The ideal scalar (SEQ) operations per datum."""
+    total = 0
+    for stmt in loop.statements:
+        total += len(stmt.loads())
+        total += sum(1 for n in stmt.expr.walk() if isinstance(n, BinOp))
+        total += 1
+    return total / len(loop.statements)
+
+
+def peak_speedup(dtype: DataType, V: int) -> int:
+    """The paper's "peek speedup": data elements per vector register."""
+    return V // dtype.size

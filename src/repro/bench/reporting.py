@@ -1,0 +1,93 @@
+"""Rendering of benchmark results: ASCII charts and Markdown tables.
+
+The paper presents Figure 11/12 as stacked bar charts (lower bound /
+shift overhead / remaining overhead).  :func:`figure_chart` renders the
+same stacking in a terminal; :func:`table_markdown` and
+:func:`figure_markdown` produce Markdown for reports such as
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import FigureResult
+from repro.bench.tables import TableResult
+
+#: glyphs for the three stacked components
+LB_CHAR = "█"
+SHIFT_CHAR = "▓"
+OTHER_CHAR = "░"
+
+
+def figure_chart(fig: FigureResult, width: int = 56) -> str:
+    """An ASCII stacked-bar rendering of a Figure 11/12 result."""
+    top = max(bar.total for bar in fig.bars)
+    scale = width / top if top else 1.0
+    lines = [fig.title,
+             f"SEQ (ideal scalar) = {fig.seq_opd:.1f} opd; "
+             f"{LB_CHAR} lower bound  {SHIFT_CHAR} shift overhead  "
+             f"{OTHER_CHAR} other overhead"]
+    for bar in fig.bars:
+        lb_w = round(bar.lb * scale)
+        sh_w = round(bar.shift_overhead * scale)
+        ot_w = max(0, round(bar.total * scale) - lb_w - sh_w)
+        body = LB_CHAR * lb_w + SHIFT_CHAR * sh_w + OTHER_CHAR * ot_w
+        lines.append(f"{bar.label:>17s} |{body} {bar.total:.3f}")
+    return "\n".join(lines)
+
+
+def figure_markdown(fig: FigureResult) -> str:
+    """A Markdown table of a Figure 11/12 result."""
+    lines = [
+        f"**{fig.title}** (SEQ = {fig.seq_opd:.1f} opd)",
+        "",
+        "| scheme | total opd | lower bound | shift overhead | other |",
+        "|---|---|---|---|---|",
+    ]
+    for bar in fig.bars:
+        lines.append(
+            f"| {bar.label} | {bar.total:.3f} | {bar.lb:.3f} "
+            f"| +{bar.shift_overhead:.3f} | +{bar.other_overhead:.3f} |"
+        )
+    return "\n".join(lines)
+
+
+def table_markdown(table: TableResult) -> str:
+    """A Markdown rendering of a Table 1/2 result."""
+    lines = [
+        f"**{table.title}** (peak speedup {table.peak})",
+        "",
+        "| loop | best policy | speedup | LB speedup "
+        "| best (runtime) | speedup | LB speedup |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in table.rows:
+        c, r = row.compile_best, row.runtime_best
+        lines.append(
+            f"| {row.label} | {c.scheme} | {c.speedup:.2f} | {c.lb_speedup:.2f} "
+            f"| {r.scheme} | {r.speedup:.2f} | {r.lb_speedup:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def comparison_markdown(
+    label: str,
+    paper_rows: dict[str, float],
+    measured_rows: dict[str, float],
+) -> str:
+    """Paper-vs-measured table for EXPERIMENTS.md-style records."""
+    lines = [
+        f"**{label}**",
+        "",
+        "| quantity | paper | this reproduction | ratio |",
+        "|---|---|---|---|",
+    ]
+    for key, paper_value in paper_rows.items():
+        measured = measured_rows.get(key)
+        if measured is None:
+            lines.append(f"| {key} | {paper_value} | — | — |")
+        else:
+            ratio = measured / paper_value if paper_value else float("nan")
+            lines.append(
+                f"| {key} | {paper_value:.3f} | {measured:.3f} | {ratio:.2f} |"
+            )
+    return "\n".join(lines)

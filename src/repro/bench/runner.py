@@ -1,0 +1,164 @@
+"""Measurement runner: simdize, execute, verify, and score one loop.
+
+Every measurement in the reproduction flows through
+:func:`measure_loop`: it simdizes with the requested scheme, runs both
+the scalar reference and the vector program on identical random
+memories, *verifies byte equality*, and reports the paper's metrics
+(operations per datum, dynamic-instruction speedup, and the Figure 11
+three-component breakdown: LB / shift overhead / remaining overhead).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
+from repro.bench.synth import SynthesizedLoop
+from repro.machine.scalar import RunBindings
+from repro.simdize.driver import simdize
+from repro.simdize.options import SimdOptions
+from repro.simdize.verify import fill_random, make_space, verify_equivalence
+
+
+@dataclass
+class Measurement:
+    """One (loop, scheme) data point."""
+
+    scheme: str
+    policy: str
+    opd: float
+    seq_opd: float
+    lb: LowerBound
+    reorg_opd: float
+    scalar_ops: int
+    vector_ops: int
+    data_count: int
+    static_shifts: int
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_ops / self.vector_ops
+
+    @property
+    def lb_speedup(self) -> float:
+        """Upper-bound speedup implied by the OPD lower bound."""
+        return self.seq_opd / self.lb.opd
+
+    @property
+    def shift_overhead(self) -> float:
+        """Figure 11's middle bar: measured reorg OPD above the LB's."""
+        return max(0.0, self.reorg_opd - self.lb.reorg_opd)
+
+    @property
+    def other_overhead(self) -> float:
+        """Figure 11's top bar: everything above LB + shift overhead."""
+        return max(0.0, self.opd - self.lb.opd - self.shift_overhead)
+
+
+def measure_loop(
+    syn: SynthesizedLoop,
+    options: SimdOptions,
+    V: int = 16,
+    seed: int = 0,
+    scheme: str | None = None,
+) -> Measurement:
+    """Simdize + run + verify one synthesized loop under one scheme."""
+    loop = syn.loop
+    rng = random.Random(seed ^ 0x5EED)
+    result = simdize(loop, V, options)
+
+    space = make_space(loop, V, rng, syn.base_residues)
+    mem = space.make_memory()
+    fill_random(space, mem, rng)
+    bindings = RunBindings(trip=syn.params.trip if loop.runtime_upper else None)
+    report = verify_equivalence(result.program, space, mem, bindings)
+
+    lb = lower_bound(
+        loop,
+        V,
+        zero_shift=(result.policy == "zero"),
+        runtime_alignment=syn.params.runtime_alignment,
+        residues=syn.base_residues,
+    )
+    reorg_opd = report.vector_ops.reorg_total / report.data_count
+    if scheme is None:
+        scheme = result.policy.upper()
+        if options.reuse != "none":
+            scheme += f"-{options.reuse}"
+    return Measurement(
+        scheme=scheme,
+        policy=result.policy,
+        opd=report.vector_opd,
+        seq_opd=seq_opd(loop),
+        lb=lb,
+        reorg_opd=reorg_opd,
+        scalar_ops=report.scalar_total,
+        vector_ops=report.vector_total,
+        data_count=report.data_count,
+        static_shifts=result.shift_count,
+    )
+
+
+@dataclass
+class SuiteResult:
+    """Aggregated measurements over a suite of loops (one scheme)."""
+
+    scheme: str
+    measurements: list[Measurement]
+
+    @property
+    def opd(self) -> float:
+        """Suite OPD: total operations over total data (ratio of sums,
+        the paper's footnote-7 aggregation)."""
+        ops = sum(m.vector_ops for m in self.measurements)
+        data = sum(m.data_count for m in self.measurements)
+        return ops / data
+
+    @property
+    def speedup(self) -> float:
+        scalar = sum(m.scalar_ops for m in self.measurements)
+        vector = sum(m.vector_ops for m in self.measurements)
+        return scalar / vector
+
+    @property
+    def lb_opd(self) -> float:
+        lb_ops = sum(m.lb.opd * m.data_count for m in self.measurements)
+        data = sum(m.data_count for m in self.measurements)
+        return lb_ops / data
+
+    @property
+    def lb_speedup(self) -> float:
+        seq = sum(m.seq_opd * m.data_count for m in self.measurements)
+        lb = sum(m.lb.opd * m.data_count for m in self.measurements)
+        return seq / lb
+
+    @property
+    def seq_opd(self) -> float:
+        seq = sum(m.seq_opd * m.data_count for m in self.measurements)
+        data = sum(m.data_count for m in self.measurements)
+        return seq / data
+
+    @property
+    def shift_overhead(self) -> float:
+        extra = sum(m.shift_overhead * m.data_count for m in self.measurements)
+        data = sum(m.data_count for m in self.measurements)
+        return extra / data
+
+    @property
+    def other_overhead(self) -> float:
+        return max(0.0, self.opd - self.lb_opd - self.shift_overhead)
+
+
+def measure_suite(
+    suite: list[SynthesizedLoop],
+    options: SimdOptions,
+    V: int = 16,
+    scheme: str | None = None,
+) -> SuiteResult:
+    """Measure every loop of a suite under one scheme."""
+    measurements = [
+        measure_loop(syn, options, V, seed=syn.seed, scheme=scheme)
+        for syn in suite
+    ]
+    return SuiteResult(scheme=measurements[0].scheme, measurements=measurements)

@@ -1,0 +1,159 @@
+"""Synthesized loop benchmarks (paper Section 5.3).
+
+"The loop benchmarks are synthesized based on a set of parameters:
+``s``, the number of statements, ``l``, the number of load references
+per statement, and ``n``, the iteration count. …  The alignment of
+each memory reference is randomly selected, with a possible bias ``b``
+(0 ≤ b ≤ 1) toward a single, randomly selected alignment.  Each memory
+reference within a single statement accesses a distinct array, but
+different statements can contain accesses to the same array.  The
+amount of array reuse ``r`` (0 ≤ r ≤ 1) among multiple statements is
+also parameterized."
+
+``add`` is the sole arithmetic operation, as in the paper ("all
+arithmetic operations are essentially the same for alignment
+handling").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import BenchError
+from repro.ir.expr import ArrayDecl, BinOp, Expr, Loop, Ref, Statement
+from repro.ir.types import ADD, DataType, INT32
+
+#: Largest element offset the synthesizer uses; the machine's guard
+#: vectors must cover ``V + MAX_OFFSET*D`` bytes of slack.
+MAX_OFFSET = 8
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """The paper's ``(l, s, n, b, r)`` tuple plus element type and mode."""
+
+    loads: int                      # l: load references per statement
+    statements: int = 1             # s
+    trip: int = 1000                # n
+    bias: float = 0.3               # b: probability of the biased alignment
+    reuse: float = 0.3              # r: probability of reusing a load array
+    dtype: DataType = INT32
+    runtime_alignment: bool = False  # hide alignments from the compiler
+    runtime_trip: bool = False       # hide the trip count from the compiler
+
+    def __post_init__(self) -> None:
+        if self.loads < 1:
+            raise BenchError("need at least one load per statement")
+        if self.statements < 1:
+            raise BenchError("need at least one statement")
+        if not (0.0 <= self.bias <= 1.0 and 0.0 <= self.reuse <= 1.0):
+            raise BenchError("bias and reuse must be in [0, 1]")
+
+    @property
+    def label(self) -> str:
+        """The paper's row labels, e.g. ``S4*L8``."""
+        return f"S{self.statements}*L{self.loads}"
+
+
+@dataclass
+class SynthesizedLoop:
+    """A generated benchmark loop plus its ground-truth alignments."""
+
+    loop: Loop
+    params: SynthParams
+    seed: int
+    #: (array name, element offset) -> intended byte alignment of the ref.
+    ref_alignments: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: actual base residues, for binding runtime-aligned arrays.
+    base_residues: dict[str, int] = field(default_factory=dict)
+
+
+def synthesize(params: SynthParams, seed: int, V: int = 16) -> SynthesizedLoop:
+    """Generate one benchmark loop for a ``V``-byte machine."""
+    rng = random.Random(seed)
+    D = params.dtype.size
+    if V % D:
+        raise BenchError(f"V={V} not a multiple of element size {D}")
+    alignments = list(range(0, V, D))
+    biased = rng.choice(alignments)
+
+    # Cover every element any reference can touch: offsets go up to
+    # MAX_OFFSET for fresh arrays and up to B-1 when realizing a target
+    # alignment on a reused array.
+    length = params.trip + MAX_OFFSET + V // D + 1
+    arrays: dict[str, ArrayDecl] = {}
+    base_residues: dict[str, int] = {}
+    ref_alignments: dict[tuple[str, int], int] = {}
+    load_pool: list[str] = []  # arrays available for cross-statement reuse
+
+    def pick_alignment() -> int:
+        if rng.random() < params.bias:
+            return biased
+        return rng.choice(alignments)
+
+    def declare(name: str, residue: int) -> ArrayDecl:
+        decl = ArrayDecl(
+            name,
+            params.dtype,
+            length,
+            None if params.runtime_alignment else residue,
+        )
+        arrays[name] = decl
+        base_residues[name] = residue
+        return decl
+
+    def new_load_ref(stmt_index: int, load_index: int, used: set[str]) -> Ref:
+        want = pick_alignment()
+        reusable = [a for a in load_pool if a not in used]
+        if reusable and rng.random() < params.reuse:
+            name = rng.choice(reusable)
+            residue = base_residues[name]
+            # Choose the element offset realizing the desired reference
+            # alignment against the existing base residue.
+            offset = ((want - residue) % V) // D
+        else:
+            name = f"in{len(load_pool)}"
+            offset = rng.randint(0, MAX_OFFSET)
+            residue = (want - offset * D) % V
+            declare(name, residue)
+            load_pool.append(name)
+        ref_alignments[(name, offset)] = want
+        used.add(name)
+        return Ref(arrays[name], offset)
+
+    statements: list[Statement] = []
+    for s in range(params.statements):
+        used: set[str] = set()
+        refs = [new_load_ref(s, k, used) for k in range(params.loads)]
+        expr: Expr = refs[0]
+        for ref in refs[1:]:
+            expr = BinOp(ADD, expr, ref)
+
+        want = pick_alignment()
+        offset = rng.randint(0, MAX_OFFSET)
+        residue = (want - offset * D) % V
+        store_decl = declare(f"out{s}", residue)
+        ref_alignments[(store_decl.name, offset)] = want
+        statements.append(Statement(Ref(store_decl, offset), expr))
+
+    loop = Loop(
+        upper="ub" if params.runtime_trip else params.trip,
+        statements=statements,
+        name=f"{params.label}_seed{seed}",
+    )
+    return SynthesizedLoop(
+        loop=loop,
+        params=params,
+        seed=seed,
+        ref_alignments=ref_alignments,
+        base_residues=base_residues,
+    )
+
+
+def synthesize_suite(
+    params: SynthParams, count: int = 50, base_seed: int = 0, V: int = 16
+) -> list[SynthesizedLoop]:
+    """A benchmark of ``count`` distinct loops with identical parameters,
+    as used for each row/bar of the paper's evaluation."""
+    return [synthesize(params, base_seed + k, V) for k in range(count)]

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+``simdize FILE``
+    Compile a mini-C loop and print the simdized vector program
+    (AltiVec-style by default).
+``run FILE``
+    Simdize, execute on the virtual SIMD machine, verify against the
+    scalar reference, and print operation counts and speedup.
+``export FILE``
+    Emit a compilable C translation unit (SSE or AltiVec intrinsics);
+    ``--validate`` additionally compiles and runs it against scalar
+    semantics (needs a host C compiler).
+``explain FILE``
+    Show the loop's alignment table, dependence report, stream
+    diagrams, and the shift counts of every placement policy.
+``bench NAME``
+    Regenerate one of the paper's evaluation artifacts
+    (``table1``, ``table2``, ``fig11``, ``fig12``, ``coverage``).
+
+Every command reads the loop from a mini-C source file (see
+``repro.lang``), or from stdin when FILE is ``-``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import SimdalError
+from repro.lang import compile_source
+from repro.simdize.options import SimdOptions
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _options(args: argparse.Namespace) -> SimdOptions:
+    return SimdOptions(
+        policy=args.policy,
+        reuse=args.reuse,
+        unroll=args.unroll,
+        offset_reassoc=args.reassoc,
+    )
+
+
+def _add_simd_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default="auto",
+                        choices=["auto", "zero", "eager", "lazy", "dominant"],
+                        help="stream-shift placement policy")
+    parser.add_argument("--reuse", default="sp",
+                        choices=["none", "sp", "pc", "sp+pc"],
+                        help="cross-iteration reuse optimization")
+    parser.add_argument("--unroll", type=int, default=1, metavar="U",
+                        help="steady-loop unroll factor")
+    parser.add_argument("--reassoc", action="store_true",
+                        help="enable common-offset reassociation")
+    parser.add_argument("--vector-bytes", type=int, default=16, dest="V",
+                        help="vector register length in bytes")
+
+
+def _bindings(args: argparse.Namespace) -> tuple[int | None, dict[str, int]]:
+    scalars: dict[str, int] = {}
+    for binding in args.set or []:
+        name, _, value = binding.partition("=")
+        if not value:
+            raise SimdalError(f"--set needs name=value, got {binding!r}")
+        scalars[name] = int(value)
+    return args.trip, scalars
+
+
+def cmd_simdize(args: argparse.Namespace) -> int:
+    from repro.simdize.driver import simdize
+    from repro.vir.printer import format_program
+
+    loop = compile_source(_read_source(args.file), name=args.name)
+    result = simdize(loop, args.V, _options(args))
+    print(f"// policy: {result.policy}, stream shifts: {result.shift_count}")
+    print(format_program(result.program, altivec=(args.dialect == "altivec")))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro import run_and_verify
+    from repro.simdize.driver import simdize
+
+    loop = compile_source(_read_source(args.file), name=args.name)
+    result = simdize(loop, args.V, _options(args))
+    trip, scalars = _bindings(args)
+    report = run_and_verify(result.program, seed=args.seed, trip=trip,
+                            scalars=scalars)
+    print(f"verified: simdized execution matches scalar semantics "
+          f"(trip {report.trip})")
+    print(f"policy {result.policy}, static stream shifts {result.shift_count}")
+    print(f"scalar ops   {report.scalar_total:>10d}   "
+          f"({report.scalar_opd:.2f} per datum)")
+    print(f"simdized ops {report.vector_total:>10d}   "
+          f"({report.vector_opd:.2f} per datum)")
+    print(f"speedup      {report.speedup:>10.2f}x")
+    if report.used_fallback:
+        print("note: the guarded scalar fallback ran (trip count <= 3B)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.export import cross_validate, export_c
+    from repro.simdize.driver import simdize
+
+    loop = compile_source(_read_source(args.file), name=args.name)
+    result = simdize(loop, args.V, _options(args))
+    source = export_c(result.program, backend=args.backend)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output} ({args.backend} backend)")
+    else:
+        print(source)
+    if args.validate:
+        trip, scalars = _bindings(args)
+        report = cross_validate(loop, _options(args), args.V, trip=trip,
+                                scalars=scalars, backend=args.backend)
+        print(f"cross-validation: {report.output} (compiled with {report.compiler})")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.deps.analysis import dependence_report
+    from repro.reorg import apply_policy, build_loop_graph
+    from repro.viz.streams import loop_alignment_table, memory_stream
+
+    loop = compile_source(_read_source(args.file), name=args.name)
+    print(loop)
+    print()
+    print("alignment of each reference:")
+    print(loop_alignment_table(loop, args.V))
+    print()
+    print("dependences:")
+    print(dependence_report(loop.statements))
+    print()
+    if not loop.has_reductions:
+        graph = build_loop_graph(loop, args.V)
+        print("stream shifts per placement policy:")
+        for policy in ("zero", "eager", "lazy", "dominant"):
+            try:
+                count = apply_policy(graph, policy).shift_count()
+                print(f"  {policy:9s} {count}")
+            except SimdalError as exc:
+                print(f"  {policy:9s} not applicable ({exc})")
+        print()
+    first = loop.statements[0]
+    refs = list(first.loads())[:2]
+    for ref in refs:
+        try:
+            print(memory_stream(ref, args.V).text)
+            print()
+        except SimdalError:
+            pass
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import coverage_sweep, figure11, figure12, table1, table2
+
+    builders = {
+        "table1": lambda: table1(count=args.count, trip=args.trip_count),
+        "table2": lambda: table2(count=args.count, trip=args.trip_count),
+        "fig11": lambda: figure11(count=args.count, trip=args.trip_count),
+        "fig12": lambda: figure12(count=args.count, trip=args.trip_count),
+        "coverage": lambda: coverage_sweep(count=args.count * 10),
+    }
+    result = builders[args.name]()
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="simdal: simdization with alignment constraints "
+                    "(PLDI 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common_file = dict(help="mini-C source file ('-' for stdin)")
+
+    p = sub.add_parser("simdize", help="print the simdized vector program")
+    p.add_argument("file", **common_file)
+    p.add_argument("--name", default="loop")
+    p.add_argument("--dialect", default="altivec", choices=["altivec", "generic"])
+    _add_simd_options(p)
+    p.set_defaults(func=cmd_simdize)
+
+    p = sub.add_parser("run", help="execute on the VM, verify, report metrics")
+    p.add_argument("file", **common_file)
+    p.add_argument("--name", default="loop")
+    p.add_argument("--trip", type=int, default=None,
+                   help="runtime trip count (for 'int n;' bounds)")
+    p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                   help="bind a runtime scalar")
+    p.add_argument("--seed", type=int, default=0)
+    _add_simd_options(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("export", help="emit C intrinsics code")
+    p.add_argument("file", **common_file)
+    p.add_argument("--name", default="loop")
+    p.add_argument("--backend", default="sse", choices=["sse", "altivec"])
+    p.add_argument("-o", "--output", default=None, help="write to a file")
+    p.add_argument("--validate", action="store_true",
+                   help="compile and run the exported code against scalar "
+                        "semantics (needs a C compiler)")
+    p.add_argument("--trip", type=int, default=None)
+    p.add_argument("--set", action="append", metavar="NAME=VALUE")
+    _add_simd_options(p)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("explain", help="alignments, dependences, policies")
+    p.add_argument("file", **common_file)
+    p.add_argument("--name", default="loop")
+    p.add_argument("--vector-bytes", type=int, default=16, dest="V")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=["table1", "table2", "fig11", "fig12",
+                                    "coverage"])
+    p.add_argument("--count", type=int, default=10,
+                   help="loops per suite (paper uses 50)")
+    p.add_argument("--trip-count", type=int, default=509,
+                   help="loop trip count (paper uses ~1000)")
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SimdalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `repro explain … | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

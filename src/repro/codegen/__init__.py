@@ -1,0 +1,11 @@
+"""SIMD code generation: graph -> vector program."""
+
+from repro.codegen.context import CodegenCtx
+from repro.codegen.exprgen import ShiftPlan, gen_expr, gen_shift_stream, plan_shift
+from repro.codegen.loopgen import GenOptions, generate_program
+from repro.codegen.swp import SwpPieces, gen_expr_sp
+
+__all__ = [
+    "CodegenCtx", "ShiftPlan", "gen_expr", "gen_shift_stream", "plan_shift",
+    "GenOptions", "generate_program", "SwpPieces", "gen_expr_sp",
+]

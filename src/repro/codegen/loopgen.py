@@ -1,0 +1,284 @@
+"""Loop-level SIMD code generation (paper Sections 4.2–4.5).
+
+Assembles the complete vector program from a validated reorganization
+graph:
+
+* a **prologue** per statement — the peeled first simdized iteration,
+  storing a partial vector by splicing the new values into the previous
+  memory contents from the store alignment onward (Figure 9,
+  ``GenSimdStmt-Prologue``);
+* the **steady-state loop**, stepping by the blocking factor ``B``;
+* an **epilogue** per statement storing the left-over tail, up to one
+  full vector plus one partial vector (Sections 4.2–4.4);
+* software-pipelining **initialisation** when requested (Figure 10).
+
+Two bounds schemes are implemented:
+
+* ``single`` — the single-statement scheme with compile-time alignments
+  and trip count: ``LB = (V − ProSplice)/D`` (eq. 10),
+  ``UB = ub − ⌊EpiSplice/D⌋`` (eq. 11);
+* ``general`` — the multi-statement/runtime scheme: ``LB = B``
+  (eq. 12), ``UB = ub − B + 1`` (eq. 15), relying on the truncation
+  effect of vector memory addressing, with per-statement left-over
+  ``EpiLeftOver = ProSplice + (ub mod B)·D`` (eq. 16) stored by the
+  epilogue as one conditional full vector plus one conditional partial
+  vector.
+
+Loops whose (runtime) trip count is not greater than ``3B`` take the
+guarded scalar fallback, exactly as Section 4.4 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.offsets import KnownOffset
+from repro.codegen.context import CodegenCtx
+from repro.codegen.exprgen import gen_expr
+from repro.codegen.swp import SwpPieces, gen_expr_sp
+from repro.errors import CodegenError
+from repro.ir.expr import Loop
+from repro.reorg.graph import LoopGraph, StatementGraph
+from repro.reorg.validate import validate_graph
+from repro.vir.program import SteadyLoop, VProgram
+from repro.vir.vexpr import (
+    Addr,
+    SConst,
+    SExpr,
+    SVar,
+    VExpr,
+    VLoadE,
+    VSpliceE,
+    s_add,
+    s_bin,
+    s_mod,
+    s_mul,
+    s_sub,
+)
+from repro.vir.vstmt import Section, VStoreS
+
+
+@dataclass
+class GenOptions:
+    """Code-generation options (a subset of the driver's SimdOptions)."""
+
+    software_pipeline: bool = False
+    bounds_scheme: str = "auto"  # "auto" | "single" | "general"
+
+
+def generate_program(graph: LoopGraph, options: GenOptions | None = None) -> VProgram:
+    """Lower a validated reorganization graph to a vector program."""
+    options = options or GenOptions()
+    validate_graph(graph)
+    loop = graph.loop
+    V = graph.V
+    ctx = CodegenCtx(loop, V)
+    B, D = ctx.B, ctx.D
+
+    scheme = _pick_scheme(graph, options)
+    trip_expr = _trip_sexpr(loop)
+
+    # Small or unknown trip counts: the vector path needs ub > 3B
+    # (prologue + at least one steady iteration + epilogue).
+    if isinstance(loop.upper, int) and loop.upper <= 3 * B:
+        return VProgram(source=loop, V=V, guard_min_trip=loop.upper)
+
+    program = VProgram(source=loop, V=V)
+    program.guard_min_trip = 3 * B if loop.runtime_upper else None
+
+    if scheme == "single":
+        sg = graph.statements[0]
+        P = _known_store_offset(sg, V)
+        lb_val = (V - P) // D if P else B
+        epi_splice = (P + loop.upper * D) % V
+        ub_val = loop.upper - epi_splice // D
+        lb: SExpr = SConst(lb_val)
+        ub: SExpr = SConst(ub_val)
+        program.steady_residue = lb_val % B
+    else:
+        lb = SConst(B)
+        ub = s_sub(trip_expr, SConst(B - 1))
+        program.steady_residue = 0
+
+    residue = program.steady_residue
+    pieces = SwpPieces()
+    body: list = []
+    for sg in graph.statements:
+        store_addr = Addr(sg.store.ref.array.name, sg.store.ref.offset)
+        if options.software_pipeline:
+            expr = gen_expr_sp(ctx, sg.store.src, 0, residue, pieces)
+            body.extend(pieces.body)
+            pieces.body = []
+        else:
+            expr = gen_expr(ctx, sg.store.src, 0, residue)
+        body.append(VStoreS(store_addr, expr))
+
+        program.prologue.append(_prologue_section(ctx, sg))
+        if scheme == "single":
+            program.epilogue.extend(
+                _single_epilogue_sections(ctx, sg, ub, epi_splice, residue)
+            )
+        else:
+            program.epilogue.extend(
+                _general_epilogue_sections(ctx, sg, trip_expr)
+            )
+
+    if pieces.init:
+        program.prologue.append(
+            Section("swp_init", stmts=pieces.init, i_expr=lb)
+        )
+
+    program.steady = SteadyLoop(lb=lb, ub=ub, step=B, body=body, bottom=pieces.bottom)
+    program.preheader = ctx.preheader
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Scheme selection and shared helpers
+# ---------------------------------------------------------------------------
+
+def _pick_scheme(graph: LoopGraph, options: GenOptions) -> str:
+    loop = graph.loop
+    single_ok = (
+        len(graph.statements) == 1
+        and not loop.runtime_upper
+        and isinstance(graph.statements[0].store.offset(graph.V), KnownOffset)
+    )
+    if options.bounds_scheme == "single":
+        if not single_ok:
+            raise CodegenError(
+                "single-statement bounds need one statement with compile-time "
+                "store alignment and trip count"
+            )
+        return "single"
+    if options.bounds_scheme == "general":
+        return "general"
+    if options.bounds_scheme == "auto":
+        return "single" if single_ok else "general"
+    raise CodegenError(f"unknown bounds scheme {options.bounds_scheme!r}")
+
+
+def _trip_sexpr(loop: Loop) -> SExpr:
+    return SConst(loop.upper) if isinstance(loop.upper, int) else SVar(loop.upper)
+
+
+def _known_store_offset(sg: StatementGraph, V: int) -> int:
+    off = sg.store.offset(V)
+    if not isinstance(off, KnownOffset):
+        raise CodegenError("store alignment is not a compile-time constant")
+    return off.value % V
+
+
+def _store_splice_point(ctx: CodegenCtx, sg: StatementGraph) -> SExpr:
+    """ProSplice: the store stream's alignment (paper eq. 8)."""
+    return ctx.offset_sexpr(sg.store.offset(ctx.V))
+
+
+# ---------------------------------------------------------------------------
+# Prologue / epilogue section builders
+# ---------------------------------------------------------------------------
+
+def _prologue_section(ctx: CodegenCtx, sg: StatementGraph) -> Section:
+    """Peeled first simdized iteration with a partial store (Figure 9)."""
+    ref = sg.store.ref
+    addr = Addr(ref.array.name, ref.offset)
+    new = gen_expr(ctx, sg.store.src, 0, residue=0)
+    point = _store_splice_point(ctx, sg)
+    spliced = _splice_old_new(addr, new, point, old_first=True)
+    return Section(
+        f"prologue_s{sg.statement_index}",
+        stmts=[VStoreS(addr, spliced)],
+        i_expr=SConst(0),
+    )
+
+
+def _splice_old_new(addr: Addr, new: VExpr, point: SExpr, old_first: bool) -> VExpr:
+    """``vsplice`` of previous memory contents with newly computed values.
+
+    ``old_first=True`` keeps the *old* bytes before the splice point
+    (prologue); ``False`` keeps the *new* bytes first (epilogue).
+    A compile-time degenerate splice collapses to the surviving side.
+    """
+    old = VLoadE(addr)
+    if isinstance(point, SConst) and point.value == 0:
+        return new if old_first else old
+    a, b = (old, new) if old_first else (new, old)
+    if isinstance(point, SConst):
+        return VSpliceE(a, b, point.value)
+    return VSpliceE(a, b, point)
+
+
+def _single_epilogue_sections(
+    ctx: CodegenCtx, sg: StatementGraph, ub: SExpr, epi_splice: int, residue: int
+) -> list[Section]:
+    """Single-statement epilogue: one partial store at ``i = UB`` (eq. 9/11).
+
+    ``UB ≡ LB (mod B)``, so the epilogue inherits the steady residue.
+    """
+    if epi_splice == 0:
+        return []
+    ref = sg.store.ref
+    addr = Addr(ref.array.name, ref.offset)
+    new = gen_expr(ctx, sg.store.src, 0, residue)
+    spliced = _splice_old_new(addr, new, SConst(epi_splice), old_first=False)
+    return [
+        Section(
+            f"epilogue_s{sg.statement_index}",
+            stmts=[VStoreS(addr, spliced)],
+            i_expr=ub,
+        )
+    ]
+
+
+def _general_epilogue_sections(
+    ctx: CodegenCtx, sg: StatementGraph, trip: SExpr
+) -> list[Section]:
+    """Multi-statement/runtime epilogue (Section 4.3).
+
+    After the steady loop the statement still owes
+    ``EpiLeftOver = ProSplice + (ub mod B)·D`` bytes (eq. 16), which is
+    always below ``2V``: a conditional full vector store followed by a
+    conditional partial store.
+    """
+    V, B, D = ctx.V, ctx.B, ctx.D
+    ref = sg.store.ref
+    addr = Addr(ref.array.name, ref.offset)
+    pro_splice = _store_splice_point(ctx, sg)
+    left_over = s_add(pro_splice, s_mul(s_mod(trip, SConst(B)), SConst(D)))
+    i_full = s_sub(trip, s_mod(trip, SConst(B)))
+    has_full = s_bin("ge", left_over, SConst(V))
+    partial_point = s_mod(left_over, SConst(V))
+    i_partial = s_add(i_full, s_mul(SConst(B), has_full))
+
+    sections: list[Section] = []
+
+    full_new = gen_expr(ctx, sg.store.src, 0, residue=0)
+    full_sec = Section(
+        f"epilogue_full_s{sg.statement_index}",
+        stmts=[VStoreS(addr, full_new)],
+        i_expr=i_full,
+        cond=None if _is_true(has_full) else has_full,
+    )
+    if not _is_false(has_full):
+        sections.append(full_sec)
+
+    part_cond = s_bin("gt", partial_point, SConst(0))
+    part_new = gen_expr(ctx, sg.store.src, 0, residue=0)
+    spliced = _splice_old_new(addr, part_new, partial_point, old_first=False)
+    part_sec = Section(
+        f"epilogue_part_s{sg.statement_index}",
+        stmts=[VStoreS(addr, spliced)],
+        i_expr=i_partial,
+        cond=None if _is_true(part_cond) else part_cond,
+    )
+    if not _is_false(part_cond):
+        sections.append(part_sec)
+    return sections
+
+
+def _is_true(expr: SExpr) -> bool:
+    return isinstance(expr, SConst) and expr.value != 0
+
+
+def _is_false(expr: SExpr) -> bool:
+    return isinstance(expr, SConst) and expr.value == 0

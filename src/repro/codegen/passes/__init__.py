@@ -1,0 +1,5 @@
+"""Vector-IR optimization passes."""
+
+from repro.codegen.passes.pipeline import run_passes
+
+__all__ = ["run_passes"]

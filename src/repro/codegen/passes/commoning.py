@@ -1,0 +1,164 @@
+"""Predictive commoning (paper Section 5.2/5.5, *PC*).
+
+Predictive commoning is TPO's general optimization "exploiting the
+reuse among consecutive loop iterations": when the steady body
+computes both a value and its next-iteration sibling (the expression
+with ``i -> i + B`` substituted — which is exactly what the
+stream-shift lowering of Figure 7 emits as *curr*/*next* register
+pairs), the earlier value is carried across iterations in a register
+instead of being recomputed.  The result matches the hand-crafted
+software-pipelined generator (Figure 10): data of a static misaligned
+stream is loaded once per steady iteration.
+
+Implementation: repeatedly find the largest *displacement chain*
+``e_0, e_1 = e_0[i+B], …, e_m`` of pure subexpressions all present in
+the body; keep carried registers ``r_0..r_m``; compute only ``e_m``
+each iteration; initialise ``r_0..r_{m-1}`` in a prologue section at
+the steady lower bound; rotate ``r_k <- r_{k+1}`` at the bottom of the
+loop (the copies are later removed by unrolling, as in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.vir.program import VProgram
+from repro.vir.vexpr import (
+    VBinE,
+    VExpr,
+    VIotaE,
+    VLoadE,
+    VRegE,
+    VShiftPairE,
+    VSpliceE,
+    displace,
+    is_pure,
+    walk,
+)
+from repro.vir.vstmt import Section, SetV, VStmt, VStoreS
+
+_pc_counter = 0
+
+
+def _fresh(prefix: str) -> str:
+    global _pc_counter
+    _pc_counter += 1
+    return f"{prefix}{_pc_counter}"
+
+
+def predictive_commoning(program: VProgram, max_rounds: int = 64) -> VProgram:
+    """Carry next-iteration values across the steady loop in registers."""
+    steady = program.steady
+    if steady is None:
+        return program
+
+    init_stmts: list[VStmt] = []
+    for _ in range(max_rounds):
+        chain = _best_chain(steady.body, program.B)
+        if chain is None:
+            break
+        _apply_chain(program, chain, init_stmts)
+
+    if init_stmts:
+        program.prologue.append(
+            Section("pc_init", stmts=init_stmts, i_expr=steady.lb)
+        )
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Chain discovery
+# ---------------------------------------------------------------------------
+
+def _candidates(body: list[VStmt]) -> Counter:
+    """All pure, memory-dependent subexpressions of the body."""
+    found: Counter[VExpr] = Counter()
+    for stmt in body:
+        expr = _stmt_expr(stmt)
+        if expr is None:
+            continue
+        for node in walk(expr):
+            if is_pure(node) and _depends_on_i(node):
+                found[node] += 1
+    return found
+
+
+def _depends_on_i(expr: VExpr) -> bool:
+    return any(isinstance(n, (VLoadE, VIotaE)) for n in walk(expr))
+
+
+def _best_chain(body: list[VStmt], B: int) -> list[VExpr] | None:
+    """The most profitable displacement chain, or ``None`` when done.
+
+    Profit favours longer chains of larger expressions: each chain link
+    saves one recomputation of the whole subexpression per iteration.
+    """
+    present = _candidates(body)
+    chains: list[list[VExpr]] = []
+    for expr in present:
+        if displace(expr, -B) in present:
+            continue  # not a chain head
+        succ = displace(expr, B)
+        if succ not in present:
+            continue
+        chain = [expr]
+        while succ in present:
+            chain.append(succ)
+            succ = displace(succ, B)
+        chains.append(chain)
+    if not chains:
+        return None
+
+    def profit(chain: list[VExpr]) -> tuple[int, int]:
+        size = sum(1 for _ in walk(chain[0]))
+        return ((len(chain) - 1) * size, size)
+
+    return max(chains, key=profit)
+
+
+# ---------------------------------------------------------------------------
+# Chain application
+# ---------------------------------------------------------------------------
+
+def _apply_chain(program: VProgram, chain: list[VExpr], init_stmts: list[VStmt]) -> None:
+    steady = program.steady
+    m = len(chain) - 1
+    regs = [_fresh("vpc") for _ in chain]
+    replacement = {chain[k]: VRegE(regs[k]) for k in range(len(chain))}
+
+    def rewrite(expr: VExpr) -> VExpr:
+        if expr in replacement:
+            return replacement[expr]
+        if isinstance(expr, VBinE):
+            return VBinE(expr.op, rewrite(expr.a), rewrite(expr.b), expr.dtype)
+        if isinstance(expr, VShiftPairE):
+            return VShiftPairE(rewrite(expr.a), rewrite(expr.b), expr.shift)
+        if isinstance(expr, VSpliceE):
+            return VSpliceE(rewrite(expr.a), rewrite(expr.b), expr.point)
+        return expr
+
+    new_body: list[VStmt] = [SetV(regs[m], chain[m])]
+    for stmt in steady.body:
+        if isinstance(stmt, SetV) and not stmt.is_copy:
+            new_body.append(SetV(stmt.reg, rewrite(stmt.expr)))
+        elif isinstance(stmt, VStoreS):
+            new_body.append(VStoreS(stmt.addr, rewrite(stmt.src)))
+        else:
+            new_body.append(stmt)
+    steady.body = new_body
+
+    # Initialise the carried values for the first steady iteration.
+    for k in range(m):
+        init_stmts.append(SetV(regs[k], chain[k]))
+    # Rotate at the bottom: ascending order reads each register before
+    # it is overwritten.
+    for k in range(m):
+        steady.bottom.append(SetV(regs[k], VRegE(regs[k + 1])))
+
+
+def _stmt_expr(stmt: VStmt) -> VExpr | None:
+    if isinstance(stmt, SetV) and not stmt.is_copy:
+        return stmt.expr
+    if isinstance(stmt, VStoreS):
+        return stmt.src
+    return None

@@ -1,0 +1,160 @@
+"""Local common-subexpression elimination and invariant hoisting.
+
+Two redundancy eliminations on the steady-state body:
+
+* **loop-invariant hoisting** — pure vector subexpressions that do not
+  depend on the loop counter (splats of constants or runtime scalars,
+  and arithmetic over them) are computed once in the preheader;
+* **CSE** — pure subexpressions occurring more than once in the body
+  (typically identical truncating loads after memory normalization,
+  and identical shift expressions across statements) are computed once
+  into a temporary register.
+
+Only *pure* expressions (no register references) participate: a
+register may be redefined between two structurally equal reads, so
+merging impure expressions would need dataflow reasoning that local
+value numbering does not provide.  Prologue and epilogue sections get
+the same treatment independently (they execute at different loop
+counter values, so sharing across sections would be wrong).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.vir.program import VProgram
+from repro.vir.vexpr import (
+    VBinE,
+    VExpr,
+    VIotaE,
+    VLoadE,
+    VRegE,
+    VShiftPairE,
+    VSpliceE,
+    VSplatE,
+    is_pure,
+    walk,
+)
+from repro.vir.vstmt import Section, SetV, VStmt, VStoreS
+
+_cse_counter = 0
+
+
+def _fresh(prefix: str) -> str:
+    global _cse_counter
+    _cse_counter += 1
+    return f"{prefix}{_cse_counter}"
+
+
+def eliminate_common_subexprs(program: VProgram) -> VProgram:
+    """Hoist invariants to the preheader; CSE the body and each section."""
+    if program.steady is not None:
+        hoisted = _hoist_invariants(program, program.steady.body)
+        program.steady.body = hoisted
+        program.steady.body = _cse_stmts(program.steady.body, "vcse_")
+    for sec in program.prologue + program.epilogue:
+        sec.stmts = _cse_stmts(sec.stmts, f"vcse_{sec.label}_")
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Invariant hoisting
+# ---------------------------------------------------------------------------
+
+def _is_invariant(expr: VExpr) -> bool:
+    """Pure and independent of the loop counter (no memory access)."""
+    if isinstance(expr, (VLoadE, VIotaE)):
+        return False
+    if isinstance(expr, VRegE):
+        return False
+    if isinstance(expr, VSplatE):
+        return True
+    if isinstance(expr, (VBinE, VShiftPairE, VSpliceE)):
+        return all(_is_invariant(c) for c in expr.children())
+    return False
+
+
+def _hoist_invariants(program: VProgram, stmts: list[VStmt]) -> list[VStmt]:
+    mapping: dict[VExpr, VRegE] = {}
+
+    def rewrite(expr: VExpr) -> VExpr:
+        if _is_invariant(expr) and not isinstance(expr, VRegE):
+            if expr not in mapping:
+                reg = _fresh("vinv")
+                program.preheader.append(SetV(reg, expr))
+                mapping[expr] = VRegE(reg)
+            return mapping[expr]
+        return _rebuild(expr, rewrite)
+
+    return _rewrite_stmts(stmts, rewrite)
+
+
+# ---------------------------------------------------------------------------
+# CSE proper
+# ---------------------------------------------------------------------------
+
+def _cse_stmts(stmts: list[VStmt], prefix: str) -> list[VStmt]:
+    counts: Counter[VExpr] = Counter()
+    for stmt in stmts:
+        expr = _stmt_expr(stmt)
+        if expr is not None:
+            for node in walk(expr):
+                if is_pure(node) and _worthwhile(node):
+                    counts[node] += 1
+
+    defined: dict[VExpr, VRegE] = {}
+    out: list[VStmt] = []
+
+    def rewrite(expr: VExpr) -> VExpr:
+        if expr in defined:
+            return defined[expr]
+        if is_pure(expr) and _worthwhile(expr) and counts[expr] >= 2:
+            reg = _fresh(prefix)
+            out.append(SetV(reg, _rebuild(expr, rewrite)))
+            defined[expr] = VRegE(reg)
+            return defined[expr]
+        return _rebuild(expr, rewrite)
+
+    for stmt in stmts:
+        if isinstance(stmt, SetV) and not stmt.is_copy:
+            out.append(SetV(stmt.reg, rewrite(stmt.expr)))
+        elif isinstance(stmt, VStoreS):
+            out.append(VStoreS(stmt.addr, rewrite(stmt.src)))
+        else:
+            out.append(stmt)
+    return out
+
+
+def _worthwhile(expr: VExpr) -> bool:
+    """Is factoring this expression into a register a saving?"""
+    return not isinstance(expr, VRegE)
+
+
+def _stmt_expr(stmt: VStmt) -> VExpr | None:
+    if isinstance(stmt, SetV):
+        return stmt.expr
+    if isinstance(stmt, VStoreS):
+        return stmt.src
+    return None
+
+
+def _rebuild(expr: VExpr, rewrite) -> VExpr:
+    if isinstance(expr, VBinE):
+        return VBinE(expr.op, rewrite(expr.a), rewrite(expr.b), expr.dtype)
+    if isinstance(expr, VShiftPairE):
+        return VShiftPairE(rewrite(expr.a), rewrite(expr.b), expr.shift)
+    if isinstance(expr, VSpliceE):
+        return VSpliceE(rewrite(expr.a), rewrite(expr.b), expr.point)
+    return expr
+
+
+def _rewrite_stmts(stmts: list[VStmt], rewrite) -> list[VStmt]:
+    out: list[VStmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, SetV) and not stmt.is_copy:
+            out.append(SetV(stmt.reg, rewrite(stmt.expr)))
+        elif isinstance(stmt, VStoreS):
+            out.append(VStoreS(stmt.addr, rewrite(stmt.src)))
+        else:
+            out.append(stmt)
+    return out

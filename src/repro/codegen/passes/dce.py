@@ -1,0 +1,90 @@
+"""Dead-code elimination for vector programs.
+
+Removes ``SetV``/``SetS`` definitions whose registers are never read
+anywhere in the program.  Runs to a fixpoint (removing a dead use-site
+can make its operands dead too).  Deliberately conservative: a register
+read anywhere — any section, the steady body, bottom copies, or scalar
+positions (shift amounts, splice points, bounds, conditions) — is live.
+"""
+
+from __future__ import annotations
+
+from repro.vir.program import VProgram
+from repro.vir.vexpr import SBin, SExpr, SReg, VExpr, VRegE, VShiftPairE, VSpliceE, VSplatE, walk
+from repro.vir.vstmt import SetS, SetV, VStmt, VStoreS
+
+
+def eliminate_dead_code(program: VProgram) -> VProgram:
+    while _sweep(program):
+        pass
+    return program
+
+
+def _sweep(program: VProgram) -> bool:
+    used_v: set[str] = set()
+    used_s: set[str] = set()
+
+    def scan_s(expr: SExpr | int | None) -> None:
+        if expr is None or isinstance(expr, int):
+            return
+        if isinstance(expr, SReg):
+            used_s.add(expr.name)
+        elif isinstance(expr, SBin):
+            scan_s(expr.left)
+            scan_s(expr.right)
+
+    def scan_v(expr: VExpr) -> None:
+        for node in walk(expr):
+            if isinstance(node, VRegE):
+                used_v.add(node.name)
+            elif isinstance(node, VShiftPairE):
+                scan_s(node.shift)
+            elif isinstance(node, VSpliceE):
+                scan_s(node.point)
+            elif isinstance(node, VSplatE):
+                scan_s(node.operand)
+
+    def scan_stmts(stmts: list[VStmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, SetS):
+                scan_s(stmt.expr)
+            elif isinstance(stmt, SetV):
+                scan_v(stmt.expr)
+            elif isinstance(stmt, VStoreS):
+                scan_v(stmt.src)
+
+    scan_stmts(program.preheader)
+    for sec in program.prologue + program.epilogue:
+        scan_s(sec.i_expr)
+        scan_s(sec.cond)
+        scan_stmts(sec.stmts)
+    if program.steady is not None:
+        scan_s(program.steady.lb)
+        scan_s(program.steady.ub)
+        scan_stmts(program.steady.body)
+        scan_stmts(program.steady.bottom)
+
+    removed = False
+
+    def prune(stmts: list[VStmt]) -> list[VStmt]:
+        nonlocal removed
+        kept: list[VStmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, SetV) and stmt.reg not in used_v:
+                removed = True
+                continue
+            if isinstance(stmt, SetS) and stmt.reg not in used_s:
+                removed = True
+                continue
+            kept.append(stmt)
+        return kept
+
+    program.preheader = prune(program.preheader)
+    for sec in program.prologue + program.epilogue:
+        sec.stmts = prune(sec.stmts)
+    if program.steady is not None:
+        program.steady.body = prune(program.steady.body)
+        program.steady.bottom = prune(program.steady.bottom)
+    program.prologue = [s for s in program.prologue if s.stmts]
+    program.epilogue = [s for s in program.epilogue if s.stmts]
+    return removed

@@ -1,0 +1,32 @@
+"""Pass manager: applies the enabled vector-IR passes in order."""
+
+from __future__ import annotations
+
+from repro.vir.program import VProgram
+
+
+def run_passes(program: VProgram, options) -> VProgram:
+    """Run the optimization pipeline selected by ``options``.
+
+    Order matters: memory normalization first (it makes more loads
+    structurally equal), then predictive commoning (cross-iteration
+    reuse; needs pure expressions, so it precedes CSE), then local CSE,
+    then unrolling (which also rotates away the loop-carried copies),
+    then dead-code elimination.
+    """
+    if program.steady is None:
+        return program
+    from repro.codegen.passes import memnorm, cse, commoning, unroll, dce
+
+    if options.memnorm:
+        program = memnorm.normalize_memory(program)
+    if options.predictive_commoning:
+        # Before CSE: commoning matches *pure* displacement siblings,
+        # which CSE's temporaries would hide.
+        program = commoning.predictive_commoning(program)
+    if options.cse:
+        program = cse.eliminate_common_subexprs(program)
+    if options.unroll > 1:
+        program = unroll.unroll_steady(program, options.unroll)
+    program = dce.eliminate_dead_code(program)
+    return program

@@ -1,0 +1,182 @@
+"""SIMD code generation for reduction loops (extension).
+
+Vectorizing ``out[k] op= expr(i)`` splits the accumulation into ``B``
+independent lane accumulators and reassociates:
+
+* **preheader** — each statement's accumulator register is initialised
+  to a splat of the op's identity element;
+* **steady state** — every operand stream of ``expr`` is shifted to
+  offset 0 (the zero-shift policy), so the block register at counter
+  ``i`` covers exactly original iterations ``[i, i+B)``; the body does
+  ``vacc = vop(vacc, block)``.  The loop runs ``i = 0 .. ub − ub%B``
+  with no prologue (there is no store alignment to block on) and no
+  trip-count guard (an empty steady loop is fine);
+* **tail** — the remaining ``ub mod B`` iterations accumulate one more
+  block whose out-of-range lanes are masked to the identity with a
+  ``vsplice``;
+* **finalisation** — the accumulator is folded horizontally with
+  ``log2(B)`` shift-and-op steps (every lane then holds the total),
+  combined with the memory's prior value, and spliced into the target
+  element's lane so neighbouring bytes are preserved.
+
+Reassociating the accumulation order is bit-exact for the permitted
+ops because lane arithmetic is modular (add/mul) or order-insensitive
+(min/max/and/or/xor).
+
+Stream reuse (SP) and the vector-IR passes apply to the operand
+streams exactly as for regular loops.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.context import CodegenCtx
+from repro.codegen.exprgen import gen_expr
+from repro.codegen.swp import SwpPieces, gen_expr_sp
+from repro.errors import CodegenError
+from repro.ir.expr import Loop, Reduction
+from repro.ir.types import op_identity
+from repro.reorg.graph import LoopGraph
+from repro.reorg.validate import validate_graph
+from repro.vir.program import SteadyLoop, VProgram
+from repro.vir.vexpr import (
+    Addr,
+    SConst,
+    SExpr,
+    SVar,
+    VBinE,
+    VExpr,
+    VLoadE,
+    VRegE,
+    VShiftPairE,
+    VSpliceE,
+    VSplatE,
+    s_bin,
+    s_mod,
+    s_mul,
+    s_sub,
+)
+from repro.vir.vstmt import Section, SetV, VStoreS
+
+
+def generate_reduction_program(graph: LoopGraph, software_pipeline: bool) -> VProgram:
+    """Lower a validated all-reduction loop graph to a vector program.
+
+    The graph's statement sources must already be shifted to offset 0
+    (the driver applies the zero policy against a virtual aligned
+    store); each statement's :class:`~repro.ir.expr.Reduction` carries
+    the accumulator op and target.
+    """
+    validate_graph(graph)
+    loop = graph.loop
+    V = graph.V
+    ctx = CodegenCtx(loop, V)
+    B, D = ctx.B, ctx.D
+    trip = SConst(loop.upper) if isinstance(loop.upper, int) else SVar(loop.upper)
+
+    program = VProgram(source=loop, V=V)
+    program.steady_residue = 0
+
+    rem = s_mod(trip, SConst(B))
+    steady_ub = s_sub(trip, rem)
+
+    pieces = SwpPieces()
+    body: list = []
+    finals: list[Section] = []
+    tails: list[Section] = []
+
+    for sg in graph.statements:
+        stmt = loop.statements[sg.statement_index]
+        if not isinstance(stmt, Reduction):
+            raise CodegenError("generate_reduction_program needs an all-reduction loop")
+        identity = op_identity(stmt.op, loop.dtype)
+        acc = f"vacc{sg.statement_index}"
+        program.preheader.append(SetV(acc, VSplatE(SConst(identity), loop.dtype)))
+
+        if software_pipeline:
+            block = gen_expr_sp(ctx, sg.store.src, 0, 0, pieces)
+            body.extend(pieces.body)
+            pieces.body = []
+        else:
+            block = gen_expr(ctx, sg.store.src, 0, 0)
+        body.append(SetV(acc, VBinE(stmt.op, VRegE(acc), block, loop.dtype)))
+
+        tails.append(_tail_section(ctx, sg, stmt, acc, rem, steady_ub, identity))
+        finals.append(_finalize_section(ctx, stmt, acc))
+
+    if pieces.init:
+        program.prologue.append(Section("swp_init", stmts=pieces.init, i_expr=SConst(0)))
+
+    program.steady = SteadyLoop(lb=SConst(0), ub=steady_ub, step=B,
+                                body=body, bottom=pieces.bottom)
+    program.epilogue = [t for t in tails if t is not None] + finals
+    program.preheader = ctx.preheader + program.preheader
+    return program
+
+
+def _tail_section(ctx, sg, stmt: Reduction, acc: str, rem: SExpr,
+                  steady_ub: SExpr, identity: int) -> Section | None:
+    """Accumulate the last partial block with identity-masked lanes."""
+    V, D = ctx.V, ctx.D
+    cond = s_bin("gt", rem, SConst(0))
+    if isinstance(cond, SConst) and cond.value == 0:
+        return None
+    block = gen_expr(ctx, sg.store.src, 0, 0)
+    keep_bytes = s_mul(rem, SConst(D))
+    masked = VSpliceE(block, VSplatE(SConst(identity), ctx.loop.dtype), keep_bytes)
+    if isinstance(keep_bytes, SConst):
+        masked = VSpliceE(block, VSplatE(SConst(identity), ctx.loop.dtype),
+                          keep_bytes.value)
+    update = SetV(acc, VBinE(stmt.op, VRegE(acc), masked, ctx.loop.dtype))
+    return Section(
+        f"reduce_tail_s{sg.statement_index}",
+        stmts=[update],
+        i_expr=steady_ub,
+        cond=None if isinstance(cond, SConst) else cond,
+    )
+
+
+def _finalize_section(ctx: CodegenCtx, stmt: Reduction, acc: str) -> Section:
+    """Horizontal fold + combine with memory + lane-preserving store."""
+    V, D = ctx.V, ctx.D
+    loop: Loop = ctx.loop
+    dtype = loop.dtype
+
+    stmts: list = []
+    folded: VExpr = VRegE(acc)
+    width = V // 2
+    step = 0
+    while width >= D:
+        reg = ctx.fresh(f"vfold{stmt.target.array.name}_")
+        stmts.append(SetV(reg, VBinE(stmt.op, folded,
+                                     VShiftPairE(folded, folded, width), dtype)))
+        folded = VRegE(reg)
+        width //= 2
+        step += 1
+
+    # Combine with the value already in memory, then splice the single
+    # target lane back, preserving every neighbouring byte.
+    addr = Addr(stmt.target.array.name, stmt.target.offset)
+    lane_offset = ctx.offset_sexpr(_target_offset(stmt, V))
+    old = VLoadE(addr)
+    combined = VBinE(stmt.op, folded, old, dtype)
+    if isinstance(lane_offset, SConst):
+        o = lane_offset.value
+        inner = VSpliceE(combined, old, o + D)
+        outer = VSpliceE(old, inner, o)
+    else:
+        from repro.vir.vexpr import s_add
+
+        inner = VSpliceE(combined, old, s_add(lane_offset, SConst(D)))
+        outer = VSpliceE(old, inner, lane_offset)
+    stmts.append(VStoreS(addr, outer))
+    return Section(
+        f"reduce_final_{stmt.target.array.name}",
+        stmts=stmts,
+        i_expr=SConst(0),
+    )
+
+
+def _target_offset(stmt: Reduction, V: int):
+    from repro.align.analysis import ref_offset
+
+    return ref_offset(stmt.target, V)

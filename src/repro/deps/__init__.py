@@ -1,0 +1,13 @@
+"""Dependence analysis for stride-one loops."""
+
+from repro.deps.analysis import (
+    Dependence,
+    analyze_dependences,
+    blocking_dependences,
+    dependence_report,
+)
+
+__all__ = [
+    "Dependence", "analyze_dependences", "blocking_dependences",
+    "dependence_report",
+]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the simdal reproduction library.
+
+Every error raised by the library derives from :class:`SimdalError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the phase that failed.
+"""
+
+from __future__ import annotations
+
+
+class SimdalError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(SimdalError):
+    """Malformed scalar loop IR (bad types, bad references, bad shapes)."""
+
+
+class FrontendError(SimdalError):
+    """Base class for mini-C frontend errors."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"{line}:{col if col is not None else '?'}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character or token in mini-C source."""
+
+
+class ParseError(FrontendError):
+    """Syntactically invalid mini-C source."""
+
+
+class SemanticError(FrontendError):
+    """Mini-C source violates the Section 4.1 loop-shape assumptions."""
+
+
+class AlignmentError(SimdalError):
+    """Alignment analysis failure (e.g. offset outside [0, V))."""
+
+
+class GraphError(SimdalError):
+    """Invalid data reorganization graph (violates (C.2) or (C.3))."""
+
+
+class PolicyError(SimdalError):
+    """A shift-placement policy cannot be applied to the given graph.
+
+    The canonical case is requesting the eager/lazy/dominant policies
+    when some stream offset is only known at runtime (paper Section 4.4
+    requires the zero-shift policy there).
+    """
+
+
+class CodegenError(SimdalError):
+    """SIMD code generation failure."""
+
+
+class MachineError(SimdalError):
+    """Virtual SIMD machine failure (bad address, unbound array, ...)."""
+
+
+class VerificationError(SimdalError):
+    """Simdized execution did not match the scalar reference execution."""
+
+
+class BenchError(SimdalError):
+    """Benchmark synthesis or harness failure."""

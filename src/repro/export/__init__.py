@@ -1,0 +1,18 @@
+"""C code export: AltiVec and SSE intrinsics backends + cross-validation."""
+
+from repro.export.altivec import AltivecBackend
+from repro.export.cgen import Backend, CEmitter
+from repro.export.sse import SseBackend
+from repro.export.validate import (
+    BACKENDS,
+    CrossValidationReport,
+    cross_validate,
+    export_c,
+    find_compiler,
+)
+
+__all__ = [
+    "AltivecBackend", "Backend", "CEmitter", "SseBackend",
+    "BACKENDS", "CrossValidationReport", "cross_validate", "export_c",
+    "find_compiler",
+]

@@ -1,0 +1,117 @@
+"""AltiVec/VMX intrinsics backend for the C exporter.
+
+This is the paper's own target ISA: the generic reorganization ops map
+onto ``vec_perm`` (byte permute of two vectors), ``vec_sel``
+(bit select), and ``vec_splat(s)`` exactly as Section 2.2 describes.
+Compile-time shift amounts use ``vec_sld`` (shift left double by
+octet immediate); runtime amounts build the permute vector by adding a
+splat of the amount to the byte-index literal ``(0, 1, …, 15)`` — the
+construction the paper spells out for ``vshiftpair``.
+
+Emitted code targets big-endian classic AltiVec semantics and is not
+compiled in this repository's test environment (x86); structural tests
+keep it well-formed and the SSE backend provides the executable
+cross-validation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.ir.types import DataType
+from repro.export.cgen import Backend
+
+_VEC_TYPES = {
+    "int8": "vector signed char",
+    "int16": "vector signed short",
+    "int32": "vector signed int",
+    "uint8": "vector unsigned char",
+    "uint16": "vector unsigned short",
+    "uint32": "vector unsigned int",
+}
+
+
+class AltivecBackend(Backend):
+    name = "altivec"
+    vector_type = "vector unsigned char"
+
+    def headers(self) -> list[str]:
+        return ["#include <altivec.h>"]
+
+    def helpers(self, V: int, dtype: DataType) -> str:
+        if V != 16:
+            raise CodegenError("AltiVec vectors are 16 bytes")
+        return r"""
+static const vector unsigned char simdal_bytes =
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+
+static inline vector unsigned char
+simdal_shiftpair_rt(vector unsigned char a, vector unsigned char b, long k) {
+    /* permute vector = splat(k) + (0..15), paper Section 2.2 */
+    vector unsigned char perm =
+        vec_add(vec_splats((unsigned char)k), simdal_bytes);
+    return vec_perm(a, b, perm);
+}
+
+static inline vector unsigned char
+simdal_splice(vector unsigned char a, vector unsigned char b, long point) {
+    /* mask = bytes < point select a; paper Section 2.2 (vec_sel) */
+    vector unsigned char mask =
+        (vector unsigned char)vec_cmplt(simdal_bytes,
+                                        vec_splats((unsigned char)point));
+    return vec_sel(b, a, mask);
+}
+"""
+
+    def _cast(self, expr: str, dtype: DataType) -> str:
+        return f"(({_VEC_TYPES[dtype.name]}){expr})"
+
+    def _uncast(self, expr: str) -> str:
+        return f"((vector unsigned char){expr})"
+
+    def load(self, ptr: str) -> str:
+        return f"vec_ld(0, (const unsigned char *){ptr})"
+
+    def store(self, ptr: str, value: str) -> str:
+        return f"vec_st({value}, 0, (unsigned char *){ptr})"
+
+    def shiftpair(self, a: str, b: str, shift: str, const_shift: int | None) -> str:
+        if const_shift is not None:
+            if const_shift == 0:
+                return a
+            if const_shift == 16:
+                return b
+            return f"vec_sld({a}, {b}, {const_shift})"
+        return f"simdal_shiftpair_rt({a}, {b}, {shift})"
+
+    def splice(self, a: str, b: str, point: str) -> str:
+        return f"simdal_splice({a}, {b}, {point})"
+
+    def splat(self, value: str, dtype: DataType) -> str:
+        ctype = {1: "signed char", 2: "signed short", 4: "signed int"}[dtype.size]
+        if not dtype.signed:
+            ctype = "unsigned" + ctype[len("signed"):]
+        return self._uncast(f"vec_splats(({ctype})({value}))")
+
+    def iota(self, counter_expr: str, dtype: DataType, V: int) -> str:
+        B = V // dtype.size
+        m = (f"(({counter_expr}) >= 0 ? ({counter_expr}) / {B} "
+             f": ~((~({counter_expr})) / {B}))")
+        base = self._cast(self.splat(f"({m}) * {B}", dtype), dtype)
+        lanes = ", ".join(str(k) for k in range(B))
+        literal = f"(({_VEC_TYPES[dtype.name]}){{{lanes}}})"
+        return self._uncast(f"vec_add({base}, {literal})")
+
+    def binop(self, op_name: str, a: str, b: str, dtype: DataType) -> str:
+        ca, cb = self._cast(a, dtype), self._cast(b, dtype)
+        names = {"add": "vec_add", "sub": "vec_sub", "mul": "vec_mul",
+                 "min": "vec_min", "max": "vec_max", "and": "vec_and",
+                 "or": "vec_or", "xor": "vec_xor",
+                 "sadd": "vec_adds", "ssub": "vec_subs"}
+        if op_name == "avg":
+            raise CodegenError(
+                "avg has floor semantics here; vec_avg rounds up — refusing "
+                "to emit silently different code"
+            )
+        if op_name not in names:
+            raise CodegenError(f"no AltiVec mapping for op {op_name!r}")
+        return self._uncast(f"{names[op_name]}({ca}, {cb})")

@@ -1,0 +1,129 @@
+"""SSE (x86, SSSE3/SSE4.1) intrinsics backend for the C exporter.
+
+x86 SSE is the other major 16-byte SIMD family the paper discusses
+("SSE2 supports some limited form of misaligned memory accesses which
+incurs additional overhead"); emitting the *aligned-access + data
+reorganization* style code for it exercises exactly the paper's
+scheme on hardware everyone has.  Mappings:
+
+=============== ====================================================
+generic op      SSE realization
+=============== ====================================================
+vload           ``_mm_load_si128`` on the truncated address
+vstore          ``_mm_store_si128`` on the truncated address
+vshiftpair      ``_mm_alignr_epi8(b, a, k)`` for compile-time k
+                (note the operand order: the *first* intrinsic operand
+                supplies the high bytes); a two-vector stack buffer +
+                unaligned load helper for runtime amounts
+vsplice         byte-mask select helper (``pcmpgtb`` + and/andnot/or)
+vsplat          ``_mm_set1_epi{8,16,32}``
+viota           splat of the window base + a {0,1,2,…} constant
+arith           ``_mm_add/sub/mullo/min/max/and/or/xor`` by width
+=============== ====================================================
+
+``avg`` and 8-bit ``mul`` have no exact SSE equivalent with our lane
+semantics and are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.ir.types import DataType
+from repro.export.cgen import Backend
+
+_SUFFIX = {1: "epi8", 2: "epi16", 4: "epi32"}
+
+
+class SseBackend(Backend):
+    name = "sse"
+    vector_type = "__m128i"
+
+    def headers(self) -> list[str]:
+        return ["#include <tmmintrin.h>  /* SSSE3: _mm_alignr_epi8 */",
+                "#include <smmintrin.h>  /* SSE4.1: pmin/pmax/pmulld */"]
+
+    def helpers(self, V: int, dtype: DataType) -> str:
+        if V != 16:
+            raise CodegenError("the SSE backend targets 16-byte vectors")
+        return r"""
+static inline __m128i simdal_shiftpair_rt(__m128i a, __m128i b, int64_t k) {
+    /* select bytes k..k+15 of a++b for a runtime k in [0, 16] */
+    uint8_t buf[32];
+    _mm_storeu_si128((__m128i *)buf, a);
+    _mm_storeu_si128((__m128i *)(buf + 16), b);
+    return _mm_loadu_si128((const __m128i *)(buf + k));
+}
+
+static inline __m128i simdal_splice(__m128i a, __m128i b, int64_t point) {
+    /* first `point` bytes from a, the rest from b (point in [0, 16]) */
+    const __m128i lanes = _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7,
+                                        8, 9, 10, 11, 12, 13, 14, 15);
+    __m128i mask = _mm_cmpgt_epi8(_mm_set1_epi8((char)point), lanes);
+    return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+"""
+
+    def load(self, ptr: str) -> str:
+        return f"_mm_load_si128((const __m128i *){ptr})"
+
+    def store(self, ptr: str, value: str) -> str:
+        return f"_mm_store_si128((__m128i *){ptr}, {value})"
+
+    def shiftpair(self, a: str, b: str, shift: str, const_shift: int | None) -> str:
+        if const_shift is not None:
+            if const_shift == 0:
+                return a
+            if const_shift == 16:
+                return b
+            # alignr concatenates first:high second:low; our v1 is low.
+            return f"_mm_alignr_epi8({b}, {a}, {const_shift})"
+        return f"simdal_shiftpair_rt({a}, {b}, {shift})"
+
+    def splice(self, a: str, b: str, point: str) -> str:
+        return f"simdal_splice({a}, {b}, {point})"
+
+    def splat(self, value: str, dtype: DataType) -> str:
+        suffix = _SUFFIX[dtype.size]
+        cast = {1: "(char)", 2: "(short)", 4: "(int)"}[dtype.size]
+        return f"_mm_set1_{suffix}({cast}({value}))"
+
+    def iota(self, counter_expr: str, dtype: DataType, V: int) -> str:
+        B = V // dtype.size
+        lanes = ", ".join(str(k) for k in range(B))
+        setr = {1: "_mm_setr_epi8", 2: "_mm_setr_epi16", 4: "_mm_setr_epi32"}[dtype.size]
+        suffix = _SUFFIX[dtype.size]
+        # window base m*B with m = floor(counter / B); counters can be
+        # negative in prologue displacements, so use a floor division.
+        m = (f"(({counter_expr}) >= 0 ? ({counter_expr}) / {B} "
+             f": ~((~({counter_expr})) / {B}))")
+        base = self.splat(f"({m}) * {B}", dtype)
+        return f"_mm_add_{suffix}({base}, {setr}({lanes}))"
+
+    def binop(self, op_name: str, a: str, b: str, dtype: DataType) -> str:
+        size = dtype.size
+        suffix = _SUFFIX[size]
+        if op_name in ("and", "or", "xor"):
+            return f"_mm_{op_name}_si128({a}, {b})"
+        if op_name in ("add", "sub"):
+            return f"_mm_{op_name}_{suffix}({a}, {b})"
+        if op_name == "mul":
+            if size == 2:
+                return f"_mm_mullo_epi16({a}, {b})"
+            if size == 4:
+                return f"_mm_mullo_epi32({a}, {b})"
+            raise CodegenError("8-bit lane multiply has no exact SSE mapping")
+        if op_name in ("min", "max"):
+            sign = "epi" if dtype.signed else "epu"
+            return f"_mm_{op_name}_{sign}{size * 8}({a}, {b})"
+        if op_name in ("sadd", "ssub"):
+            if size == 4:
+                raise CodegenError("SSE has no 32-bit saturating add/sub")
+            mn = "adds" if op_name == "sadd" else "subs"
+            sign = "epi" if dtype.signed else "epu"
+            return f"_mm_{mn}_{sign}{size * 8}({a}, {b})"
+        if op_name == "avg":
+            raise CodegenError(
+                "avg has floor semantics here; SSE pavg rounds up — refusing "
+                "to emit silently different code"
+            )
+        raise CodegenError(f"no SSE mapping for op {op_name!r}")

@@ -1,0 +1,8 @@
+"""Mini-C frontend for the simdizer."""
+
+from repro.lang.frontend import compile_source, simdize_source
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+__all__ = ["compile_source", "simdize_source", "Token", "tokenize", "parse", "analyze"]

@@ -1,0 +1,97 @@
+"""AST for the mini-C loop language (pre-semantic-analysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ADecl:
+    """``int a[1024] align 4;`` — alignment in bytes, ``None`` = ``align ?``
+    (runtime), omitted = 0 (vector-aligned base)."""
+
+    type_name: str
+    name: str
+    length: int
+    align: int | None
+    line: int
+
+
+@dataclass(frozen=True)
+class SDecl:
+    """``int n;`` — a runtime scalar (loop bound or invariant operand)."""
+
+    type_name: str
+    name: str
+    line: int
+
+
+class AExpr:
+    """Base class of source expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AIndex(AExpr):
+    """``a[i + 3]`` — subscript of the loop variable plus a constant."""
+
+    array: str
+    index_var: str
+    offset: int
+    line: int
+
+
+@dataclass(frozen=True)
+class ANumber(AExpr):
+    value: int
+    line: int
+
+
+@dataclass(frozen=True)
+class AName(AExpr):
+    """A bare identifier operand (must resolve to a runtime scalar)."""
+
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ABin(AExpr):
+    op: str  # "+", "-", "*", "&", "|", "^", "min", "max", "avg"
+    left: AExpr
+    right: AExpr
+    line: int
+
+
+@dataclass(frozen=True)
+class AAssign:
+    target: AIndex
+    expr: AExpr
+    line: int
+
+
+@dataclass(frozen=True)
+class AReduce:
+    """``out[3] += expr;`` — a fixed-index reduction statement."""
+
+    array: str
+    index: int
+    op: str  # "+", "*", "&", "|", "^"
+    expr: AExpr
+    line: int
+
+
+@dataclass(frozen=True)
+class AForLoop:
+    index_var: str
+    bound: "int | str"
+    body: "tuple[AAssign | AReduce, ...]"
+    line: int
+
+
+@dataclass
+class AProgram:
+    arrays: list[ADecl] = field(default_factory=list)
+    scalars: list[SDecl] = field(default_factory=list)
+    loop: AForLoop | None = None

@@ -1,0 +1,24 @@
+"""One-call frontend: mini-C source → loop IR (→ simdized program)."""
+
+from __future__ import annotations
+
+from repro.ir.expr import Loop
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.simdize.driver import SimdizeResult, simdize
+from repro.simdize.options import SimdOptions
+
+
+def compile_source(source: str, name: str = "loop") -> Loop:
+    """Parse and semantically check mini-C source into loop IR."""
+    return analyze(parse(source), name)
+
+
+def simdize_source(
+    source: str,
+    V: int = 16,
+    options: SimdOptions | None = None,
+    name: str = "loop",
+) -> SimdizeResult:
+    """Compile mini-C source and simdize it in one step."""
+    return simdize(compile_source(source, name), V, options)

@@ -1,0 +1,95 @@
+"""Tokenizer for the mini-C loop language.
+
+The language covers exactly what the simdizer accepts (paper
+Section 4.1): array declarations with optional alignment attributes,
+runtime scalar declarations, and one innermost normalized loop of
+stride-one assignments.  See :mod:`repro.lang.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "for", "align", "min", "max", "avg", "sadd", "ssub",
+    "char", "short", "int", "unsigned",
+    "int8_t", "int16_t", "int32_t", "uint8_t", "uint16_t", "uint32_t",
+}
+
+SYMBOLS = (
+    "++", "+=", "*=", "&=", "|=", "^=", "<=", "==", "<",
+    "+", "-", "*", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ";", ",", "=", "?",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "ident", "number", "keyword", or the symbol itself
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split source into tokens, raising :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    k = 0
+    n = len(source)
+    while k < n:
+        ch = source[k]
+        if ch == "\n":
+            line += 1
+            col = 1
+            k += 1
+            continue
+        if ch in " \t\r":
+            k += 1
+            col += 1
+            continue
+        if source.startswith("//", k):
+            while k < n and source[k] != "\n":
+                k += 1
+            continue
+        if source.startswith("/*", k):
+            end = source.find("*/", k + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, col)
+            skipped = source[k:end + 2]
+            line += skipped.count("\n")
+            col = 1 if "\n" in skipped else col + len(skipped)
+            k = end + 2
+            continue
+        if ch.isdigit():
+            start = k
+            while k < n and source[k].isdigit():
+                k += 1
+            text = source[start:k]
+            tokens.append(Token("number", text, line, col))
+            col += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = k
+            while k < n and (source[k].isalnum() or source[k] == "_"):
+                k += 1
+            text = source[start:k]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, k):
+                tokens.append(Token(sym, sym, line, col))
+                k += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

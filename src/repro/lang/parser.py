@@ -1,0 +1,279 @@
+"""Recursive-descent parser for the mini-C loop language.
+
+Grammar (EBNF)::
+
+    program   := decl* forloop
+    decl      := type ident "[" number "]" ["align" (number | "?")] ";"
+               | type ident ";"
+    type      := "char" | "short" | "int" | "unsigned" type
+               | "int8_t" | … | "uint32_t"
+    forloop   := "for" "(" ident "=" number ";" ident "<" bound ";"
+                 step ")" "{" assign+ "}"
+    step      := ident "++" | ident "+=" number
+    bound     := number | ident
+    assign    := subscript "=" expr ";"
+    subscript := ident "[" ident [("+"|"-") number] "]"
+               | ident "[" number "]"          (constant index, offset only)
+    expr      := term (("+"|"-"|"&"|"|"|"^") term)*
+    term      := factor ("*" factor)*
+    factor    := subscript | number | ident | "(" expr ")"
+               | ("min"|"max"|"avg") "(" expr "," expr ")"
+
+Semantic restrictions (the paper's Section 4.1 loop-shape assumptions)
+are enforced afterwards by :mod:`repro.lang.sema`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.astnodes import (
+    AAssign,
+    AReduce,
+    ABin,
+    ADecl,
+    AExpr,
+    AForLoop,
+    AIndex,
+    AName,
+    ANumber,
+    AProgram,
+    SDecl,
+)
+from repro.lang.lexer import Token, tokenize
+
+_TYPE_TOKENS = {
+    "char", "short", "int",
+    "int8_t", "int16_t", "int32_t", "uint8_t", "uint16_t", "uint32_t",
+}
+_ADD_OPS = {"+", "-", "&", "|", "^"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, what: str | None = None) -> Token:
+        tok = self._peek()
+        if tok.kind != kind and tok.text != kind:
+            raise ParseError(
+                f"expected {what or kind!r}, found {tok.text or 'end of input'!r}",
+                tok.line, tok.col,
+            )
+        return self._next()
+
+    def _at(self, kind: str) -> bool:
+        tok = self._peek()
+        return tok.kind == kind or tok.text == kind
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> AProgram:
+        program = AProgram()
+        while self._at("keyword") and self._peek().text in _TYPE_TOKENS | {"unsigned"}:
+            self._parse_decl(program)
+        loop = self._parse_for()
+        program.loop = loop
+        tok = self._peek()
+        if tok.kind != "eof":
+            raise ParseError(f"trailing input after loop: {tok.text!r}", tok.line, tok.col)
+        return program
+
+    def _parse_type(self) -> str:
+        tok = self._next()
+        if tok.text == "unsigned":
+            base = self._expect("keyword", "a type after 'unsigned'")
+            if base.text not in ("char", "short", "int"):
+                raise ParseError(f"bad type 'unsigned {base.text}'", base.line, base.col)
+            return f"unsigned {base.text}"
+        if tok.text not in _TYPE_TOKENS:
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.line, tok.col)
+        return {
+            "int8_t": "int8", "int16_t": "int16", "int32_t": "int32",
+            "uint8_t": "uint8", "uint16_t": "uint16", "uint32_t": "uint32",
+        }.get(tok.text, tok.text)
+
+    def _parse_decl(self, program: AProgram) -> None:
+        type_name = self._parse_type()
+        name = self._expect("ident", "a declared name")
+        if self._at("["):
+            self._next()
+            length = int(self._expect("number", "an array length").text)
+            self._expect("]")
+            align: int | None = 0
+            if self._at("align"):
+                self._next()
+                if self._at("?"):
+                    self._next()
+                    align = None
+                else:
+                    align = int(self._expect("number", "an alignment").text)
+            self._expect(";")
+            program.arrays.append(ADecl(type_name, name.text, length, align, name.line))
+        else:
+            self._expect(";")
+            program.scalars.append(SDecl(type_name, name.text, name.line))
+
+    def _parse_for(self) -> AForLoop:
+        start = self._expect("for")
+        self._expect("(")
+        index_var = self._expect("ident", "the loop variable").text
+        self._expect("=")
+        zero = self._expect("number", "the lower bound 0")
+        if int(zero.text) != 0:
+            raise ParseError("loops must be normalized: lower bound 0", zero.line, zero.col)
+        self._expect(";")
+        var2 = self._expect("ident", "the loop variable")
+        if var2.text != index_var:
+            raise ParseError(f"condition tests {var2.text!r}, loop variable is "
+                             f"{index_var!r}", var2.line, var2.col)
+        self._expect("<")
+        bound_tok = self._next()
+        bound: int | str
+        if bound_tok.kind == "number":
+            bound = int(bound_tok.text)
+        elif bound_tok.kind == "ident":
+            bound = bound_tok.text
+        else:
+            raise ParseError("loop bound must be a number or a scalar name",
+                             bound_tok.line, bound_tok.col)
+        self._expect(";")
+        var3 = self._expect("ident", "the loop variable")
+        if var3.text != index_var:
+            raise ParseError(f"step updates {var3.text!r}, loop variable is "
+                             f"{index_var!r}", var3.line, var3.col)
+        if self._at("++"):
+            self._next()
+        elif self._at("+="):
+            self._next()
+            one = self._expect("number", "a step of 1")
+            if int(one.text) != 1:
+                raise ParseError("only stride-one loops are simdizable",
+                                 one.line, one.col)
+        else:
+            tok = self._peek()
+            raise ParseError("expected '++' or '+= 1'", tok.line, tok.col)
+        self._expect(")")
+        self._expect("{")
+        body: list[AAssign | AReduce] = []
+        while not self._at("}"):
+            body.append(self._parse_assign(index_var))
+        self._expect("}")
+        if not body:
+            raise ParseError("loop body is empty", start.line, start.col)
+        return AForLoop(index_var, bound, tuple(body), start.line)
+
+    _REDUCE_OPS = {"+=": "+", "*=": "*", "&=": "&", "|=": "|", "^=": "^"}
+
+    def _parse_assign(self, index_var: str) -> "AAssign | AReduce":
+        # A fixed-index target (``out[3]``) introduces a reduction.
+        name_tok = self._peek()
+        target = self._parse_subscript(index_var, allow_fixed=True)
+        if isinstance(target, tuple):
+            array, index = target
+            op_tok = self._next()
+            op = self._REDUCE_OPS.get(op_tok.text)
+            if op is None:
+                raise ParseError(
+                    "a fixed-index target must be a reduction "
+                    "(out[k] += / *= / &= / |= / ^= expr)",
+                    op_tok.line, op_tok.col)
+            expr = self._parse_expr(index_var)
+            self._expect(";")
+            return AReduce(array, index, op, expr, name_tok.line)
+        eq_tok = self._peek()
+        if eq_tok.text in self._REDUCE_OPS:
+            raise ParseError(
+                "reductions need a fixed-index target (out[k] += expr); "
+                "stride-one targets use plain assignment",
+                eq_tok.line, eq_tok.col)
+        eq = self._expect("=")
+        expr = self._parse_expr(index_var)
+        self._expect(";")
+        return AAssign(target, expr, eq.line)
+
+    def _parse_subscript(self, index_var: str, allow_fixed: bool = False):
+        """Parse ``a[i + c]`` into an :class:`AIndex`, or — when
+        ``allow_fixed`` — ``a[3]`` into an ``(array, index)`` pair."""
+        name = self._expect("ident", "an array name")
+        self._expect("[")
+        tok = self._peek()
+        if tok.kind == "ident":
+            self._next()
+            if tok.text != index_var:
+                raise ParseError(
+                    f"subscript variable {tok.text!r} is not the loop "
+                    f"variable {index_var!r}", tok.line, tok.col)
+            offset = 0
+            if self._at("+") or self._at("-"):
+                sign = -1 if self._next().text == "-" else 1
+                offset = sign * int(self._expect("number", "a constant offset").text)
+        elif tok.kind == "number" and allow_fixed:
+            self._next()
+            if not self._at("]"):
+                raise ParseError("subscripts must be stride-one: a[i + c]",
+                                 tok.line, tok.col)
+            self._next()
+            return (name.text, int(tok.text))
+        else:
+            raise ParseError("subscripts must be stride-one: a[i + c]",
+                             tok.line, tok.col)
+        self._expect("]")
+        return AIndex(name.text, index_var, offset, name.line)
+
+    def _parse_expr(self, index_var: str) -> AExpr:
+        expr = self._parse_term(index_var)
+        while self._peek().text in _ADD_OPS:
+            op = self._next()
+            right = self._parse_term(index_var)
+            expr = ABin(op.text, expr, right, op.line)
+        return expr
+
+    def _parse_term(self, index_var: str) -> AExpr:
+        expr = self._parse_factor(index_var)
+        while self._at("*"):
+            op = self._next()
+            right = self._parse_factor(index_var)
+            expr = ABin("*", expr, right, op.line)
+        return expr
+
+    def _parse_factor(self, index_var: str) -> AExpr:
+        tok = self._peek()
+        if tok.kind == "number":
+            self._next()
+            return ANumber(int(tok.text), tok.line)
+        if tok.text in ("min", "max", "avg", "sadd", "ssub"):
+            self._next()
+            self._expect("(")
+            left = self._parse_expr(index_var)
+            self._expect(",")
+            right = self._parse_expr(index_var)
+            self._expect(")")
+            return ABin(tok.text, left, right, tok.line)
+        if tok.text == "(":
+            self._next()
+            expr = self._parse_expr(index_var)
+            self._expect(")")
+            return expr
+        if tok.kind == "ident":
+            if self._tokens[self._pos + 1].text == "[":
+                return self._parse_subscript(index_var)
+            self._next()
+            return AName(tok.text, tok.line)
+        raise ParseError(f"unexpected token {tok.text!r} in expression",
+                         tok.line, tok.col)
+
+
+def parse(source: str) -> AProgram:
+    """Parse mini-C source into an (unchecked) AST."""
+    return Parser(tokenize(source)).parse_program()

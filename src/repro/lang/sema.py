@@ -1,0 +1,156 @@
+"""Semantic analysis: mini-C AST → validated loop IR.
+
+Enforces the paper's Section 4.1 simdizability assumptions with
+source-located diagnostics:
+
+* every memory reference is a stride-one subscript of the loop
+  variable (the parser guarantees the shape; sema checks declarations);
+* the loop variable appears only in address computation (no bare uses
+  of it as a value);
+* all references share one element length — no data conversions;
+* array base alignments are natural (multiples of the element size);
+* the loop bound is a constant or a declared runtime scalar;
+* stored arrays are disjoint from loaded arrays (no loop-carried
+  dependences reach the simdizer).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.ir.expr import ArrayDecl, BinOp, Const, Expr, Loop, LoopIndex, Reduction, Ref, ScalarVar, Statement
+from repro.ir.types import op_by_name, type_by_name
+from repro.lang.astnodes import (
+    AAssign,
+    AReduce,
+    ABin,
+    AExpr,
+    AForLoop,
+    AIndex,
+    AName,
+    ANumber,
+    AProgram,
+)
+
+_OP_NAMES = {
+    "+": "add", "-": "sub", "*": "mul", "&": "and", "|": "or", "^": "xor",
+    "min": "min", "max": "max", "avg": "avg", "sadd": "sadd",
+    "ssub": "ssub",
+}
+
+
+class Analyzer:
+    def __init__(self, program: AProgram):
+        self._program = program
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._scalars: dict[str, str] = {}
+
+    def analyze(self, name: str = "loop") -> Loop:
+        self._declare()
+        loop_ast = self._program.loop
+        if loop_ast is None:
+            raise SemanticError("source contains no loop")
+        bound = self._check_bound(loop_ast)
+        statements = [self._check_assign(a, loop_ast) for a in loop_ast.body]
+        self._check_uniform_types(statements, loop_ast)
+        try:
+            return Loop(
+                upper=bound,
+                statements=statements,
+                index=loop_ast.index_var,
+                name=name,
+                scalar_vars=tuple(self._scalars),
+            )
+        except Exception as exc:  # IR-level validation with source context
+            raise SemanticError(str(exc), loop_ast.line) from exc
+
+    # -- declarations ------------------------------------------------------
+
+    def _declare(self) -> None:
+        for decl in self._program.arrays:
+            if decl.name in self._arrays or decl.name in self._scalars:
+                raise SemanticError(f"{decl.name!r} declared twice", decl.line)
+            dtype = type_by_name(decl.type_name)
+            if decl.align is not None and decl.align % dtype.size:
+                raise SemanticError(
+                    f"array {decl.name!r}: alignment {decl.align} is not a "
+                    f"multiple of the element size {dtype.size} (arrays must "
+                    "be naturally aligned)", decl.line)
+            self._arrays[decl.name] = ArrayDecl(decl.name, dtype, decl.length, decl.align)
+        for decl in self._program.scalars:
+            if decl.name in self._arrays or decl.name in self._scalars:
+                raise SemanticError(f"{decl.name!r} declared twice", decl.line)
+            self._scalars[decl.name] = decl.type_name
+
+    def _check_bound(self, loop: AForLoop) -> int | str:
+        if isinstance(loop.bound, int):
+            if loop.bound <= 0:
+                raise SemanticError("loop bound must be positive", loop.line)
+            return loop.bound
+        if loop.bound not in self._scalars:
+            raise SemanticError(
+                f"loop bound {loop.bound!r} is not a declared scalar", loop.line)
+        return loop.bound
+
+    # -- statements and expressions -----------------------------------------
+
+    def _check_assign(self, assign, loop: AForLoop):
+        if isinstance(assign, AReduce):
+            decl = self._arrays.get(assign.array)
+            if decl is None:
+                raise SemanticError(
+                    f"{assign.array!r} is not a declared array", assign.line)
+            op = op_by_name(_OP_NAMES[assign.op])
+            expr = self._check_expr(assign.expr, loop)
+            return Reduction(Ref(decl, assign.index), op, expr)
+        target = self._check_ref(assign.target, loop)
+        expr = self._check_expr(assign.expr, loop)
+        return Statement(target, expr)
+
+    def _check_ref(self, node: AIndex, loop: AForLoop) -> Ref:
+        decl = self._arrays.get(node.array)
+        if decl is None:
+            raise SemanticError(f"{node.array!r} is not a declared array", node.line)
+        if node.index_var != loop.index_var:
+            raise SemanticError(
+                f"subscript uses {node.index_var!r}, loop variable is "
+                f"{loop.index_var!r}", node.line)
+        return Ref(decl, node.offset)
+
+    def _check_expr(self, node: AExpr, loop: AForLoop) -> Expr:
+        if isinstance(node, AIndex):
+            return self._check_ref(node, loop)
+        if isinstance(node, ANumber):
+            return Const(node.value)
+        if isinstance(node, AName):
+            if node.name == loop.index_var:
+                # Extension beyond Section 4.1: the counter as a value
+                # vectorizes into an iota register stream.
+                return LoopIndex()
+            if node.name in self._arrays:
+                raise SemanticError(
+                    f"array {node.name!r} used without a subscript", node.line)
+            if node.name not in self._scalars:
+                raise SemanticError(f"undeclared scalar {node.name!r}", node.line)
+            return ScalarVar(node.name)
+        if isinstance(node, ABin):
+            op = op_by_name(_OP_NAMES[node.op])
+            return BinOp(op, self._check_expr(node.left, loop),
+                         self._check_expr(node.right, loop))
+        raise SemanticError(f"unsupported expression {node!r}")
+
+    def _check_uniform_types(self, statements: list[Statement], loop: AForLoop) -> None:
+        dtypes = {
+            ref.array.dtype
+            for stmt in statements
+            for ref in stmt.refs() + [stmt.target]
+        }
+        if len(dtypes) > 1:
+            names = sorted(t.name for t in dtypes)
+            raise SemanticError(
+                f"mixed element types {names}: all references must have one "
+                "data length (no conversions, Section 4.1)", loop.line)
+
+
+def analyze(program: AProgram, name: str = "loop") -> Loop:
+    """Check an AST and build the loop IR."""
+    return Analyzer(program).analyze(name)

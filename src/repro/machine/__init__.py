@@ -1,0 +1,23 @@
+"""Virtual SIMD machine: memory, arrays, vector semantics, interpreters."""
+
+from repro.machine.arrays import ArraySpace, BoundArray, GUARD_VECTORS
+from repro.machine.counters import OpCounters
+from repro.machine.interp import VectorRunResult, run_vector
+from repro.machine.memory import Memory
+from repro.machine.trace import Trace, TraceEvent
+from repro.machine.scalar import (
+    RunBindings,
+    ScalarRunResult,
+    ideal_scalar_opd,
+    ideal_scalar_ops,
+    run_scalar,
+)
+from repro.machine.vector import from_lanes, lanes, vbinop, vshiftpair, vsplat, vsplice
+
+__all__ = [
+    "ArraySpace", "BoundArray", "GUARD_VECTORS", "OpCounters",
+    "VectorRunResult", "run_vector", "Memory", "RunBindings",
+    "ScalarRunResult", "ideal_scalar_opd", "ideal_scalar_ops", "run_scalar",
+    "from_lanes", "lanes", "vbinop", "vshiftpair", "vsplat", "vsplice",
+    "Trace", "TraceEvent",
+]

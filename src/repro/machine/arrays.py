@@ -1,0 +1,142 @@
+"""Array placement and element-level access on the virtual machine.
+
+:class:`ArraySpace` places each :class:`~repro.ir.expr.ArrayDecl` in a
+single :class:`~repro.machine.memory.Memory` at a base address that
+
+* honours the declared compile-time residue ``base mod V`` (or a
+  caller/RNG-chosen residue for runtime-aligned arrays), and
+* is surrounded by guard vectors, so that the truncated vector loads a
+  stream shift issues one vector before/after the accessed stream stay
+  in bounds — the virtual equivalent of "the access stays in the page".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import MachineError
+from repro.ir.expr import ArrayDecl
+from repro.machine.memory import Memory
+
+#: Number of guard vectors placed before and after each array.
+GUARD_VECTORS = 4
+
+
+@dataclass(frozen=True)
+class BoundArray:
+    """An array bound to a concrete base address in a memory."""
+
+    decl: ArrayDecl
+    base: int
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def size_bytes(self) -> int:
+        return self.decl.length * self.decl.dtype.size
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index`` (no bounds check; guards exist)."""
+        return self.base + index * self.decl.dtype.size
+
+    def load(self, mem: Memory, index: int) -> int:
+        self._check(index)
+        return self.decl.dtype.from_bytes(mem.read(self.addr(index), self.decl.dtype.size))
+
+    def store(self, mem: Memory, index: int, value: int) -> None:
+        self._check(index)
+        mem.write(self.addr(index), self.decl.dtype.to_bytes(value))
+
+    def read_all(self, mem: Memory) -> list[int]:
+        """All element values, for verification and examples."""
+        dtype = self.decl.dtype
+        raw = mem.read(self.base, self.size_bytes)
+        return [
+            dtype.from_bytes(raw[k * dtype.size:(k + 1) * dtype.size])
+            for k in range(self.decl.length)
+        ]
+
+    def write_all(self, mem: Memory, values: Iterable[int]) -> None:
+        values = list(values)
+        if len(values) != self.decl.length:
+            raise MachineError(
+                f"array {self.name!r}: expected {self.decl.length} values, got {len(values)}"
+            )
+        dtype = self.decl.dtype
+        mem.write(self.base, b"".join(dtype.to_bytes(v) for v in values))
+
+    def _check(self, index: int) -> None:
+        if index < 0 or index >= self.decl.length:
+            raise MachineError(
+                f"element {index} outside array {self.name!r} of length {self.decl.length}"
+            )
+
+
+class ArraySpace:
+    """Allocates arrays into one memory with alignment control and guards."""
+
+    def __init__(self, V: int = 16):
+        if V & (V - 1) or V <= 0:
+            raise MachineError(f"vector length must be a power of two, got {V}")
+        self.V = V
+        self._bound: dict[str, BoundArray] = {}
+        self._runtime_residues: dict[str, int] = {}
+        self._cursor = V  # leave address 0 unused to catch stray null derefs
+
+    def place(self, decl: ArrayDecl, runtime_residue: int | None = None) -> None:
+        """Reserve space for ``decl``.
+
+        ``runtime_residue`` chooses the actual ``base mod V`` for
+        runtime-aligned arrays (the simdizer never sees it); for
+        compile-time-aligned arrays it must be omitted.
+        """
+        if decl.name in self._bound:
+            raise MachineError(f"array {decl.name!r} placed twice")
+        if decl.align is not None:
+            if runtime_residue is not None:
+                raise MachineError(
+                    f"array {decl.name!r} has compile-time alignment; "
+                    "runtime_residue is only for runtime-aligned arrays"
+                )
+            residue = decl.align % self.V
+        else:
+            residue = 0 if runtime_residue is None else runtime_residue % self.V
+            if residue % decl.dtype.size != 0:
+                raise MachineError(
+                    f"array {decl.name!r}: runtime residue {residue} violates "
+                    f"natural alignment to {decl.dtype.size}"
+                )
+        start = self._cursor + GUARD_VECTORS * self.V
+        base = start + ((residue - start) % self.V)
+        end = base + decl.length * decl.dtype.size
+        self._cursor = end + GUARD_VECTORS * self.V
+        self._bound[decl.name] = BoundArray(decl, base)
+        self._runtime_residues[decl.name] = residue
+
+    def place_all(self, decls: Iterable[ArrayDecl], runtime_residues: Mapping[str, int] | None = None) -> None:
+        residues = runtime_residues or {}
+        for decl in decls:
+            self.place(decl, residues.get(decl.name) if decl.runtime_aligned else None)
+
+    def make_memory(self, fill: int = 0xCD) -> Memory:
+        """Create a memory large enough for everything placed so far."""
+        return Memory(self._cursor + GUARD_VECTORS * self.V, fill=fill)
+
+    def __getitem__(self, name: str) -> BoundArray:
+        try:
+            return self._bound[name]
+        except KeyError:
+            raise MachineError(f"array {name!r} was never placed") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bound
+
+    def arrays(self) -> list[BoundArray]:
+        return list(self._bound.values())
+
+    def bases(self) -> dict[str, int]:
+        """Array name -> concrete base address (the runtime symbol table)."""
+        return {name: arr.base for name, arr in self._bound.items()}

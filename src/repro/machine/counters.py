@@ -1,0 +1,79 @@
+"""Dynamic operation counters — the reproduction's "cycle-accurate simulator".
+
+The paper's metric is *operations per datum* (OPD): dynamic operation
+count divided by the number of data elements computed, chosen precisely
+because it is independent of cycle time / latency / issue width.  We
+therefore count every executed operation of the vector IR, bucketed by
+category, plus the modelled loop overhead described in ``DESIGN.md``
+section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Vector-unit operation categories.
+VLOAD = "vload"
+VSTORE = "vstore"
+VPERM = "vperm"        # vshiftpair -> vec_perm
+VSEL = "vsel"          # vsplice    -> vec_sel
+VSPLAT = "vsplat"
+VARITH = "varith"
+VCOPY = "copy"         # register move (software-pipelining residue)
+#: Scalar-unit categories (modelled overhead).
+SCALAR = "scalar"      # address computation / induction pointer bumps
+BRANCH = "branch"
+CALL = "call"
+#: Scalar fallback execution (guarded runtime path).
+SLOAD = "sload"
+SSTORE = "sstore"
+SARITH = "sarith"
+
+VECTOR_CATEGORIES = (VLOAD, VSTORE, VPERM, VSEL, VSPLAT, VARITH, VCOPY)
+OVERHEAD_CATEGORIES = (SCALAR, BRANCH, CALL)
+SCALAR_CATEGORIES = (SLOAD, SSTORE, SARITH)
+ALL_CATEGORIES = VECTOR_CATEGORIES + OVERHEAD_CATEGORIES + SCALAR_CATEGORIES
+
+
+@dataclass
+class OpCounters:
+    """A bag of per-category dynamic operation counts."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, category: str, amount: int = 1) -> None:
+        if category not in ALL_CATEGORIES:
+            raise KeyError(f"unknown op category {category!r}")
+        self.counts[category] = self.counts.get(category, 0) + amount
+
+    def __getitem__(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        """All executed operations, vector + overhead + scalar-fallback."""
+        return sum(self.counts.values())
+
+    @property
+    def vector_total(self) -> int:
+        return sum(self.counts.get(c, 0) for c in VECTOR_CATEGORIES)
+
+    @property
+    def reorg_total(self) -> int:
+        """Data reorganization ops (the shift/splice overhead the paper tracks)."""
+        return self[VPERM] + self[VSEL]
+
+    @property
+    def memory_total(self) -> int:
+        return self[VLOAD] + self[VSTORE]
+
+    def merge(self, other: "OpCounters") -> None:
+        for category, count in other.counts.items():
+            self.counts[category] = self.counts.get(category, 0) + count
+
+    def as_dict(self) -> dict[str, int]:
+        return {c: self.counts.get(c, 0) for c in ALL_CATEGORIES if self.counts.get(c, 0)}
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{c}={n}" for c, n in sorted(self.as_dict().items()))
+        return f"OpCounters(total={self.total}, {parts})"

@@ -1,0 +1,67 @@
+"""Byte-addressable memory with AltiVec-style truncating vector access.
+
+The paper's target machines "support only loads and stores of
+register-length aligned memory": a vector load at address ``p`` ignores
+the low ``log2(V)`` address bits (AltiVec ``vec_ld``), and likewise for
+stores.  :class:`Memory` implements exactly that contract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+
+
+class Memory:
+    """A flat little-endian byte-addressable memory."""
+
+    def __init__(self, size: int, fill: int = 0xCD):
+        if size <= 0:
+            raise MachineError("memory size must be positive")
+        self._data = bytearray([fill]) * size if False else bytearray([fill] * size)
+        self.size = size
+
+    # -- raw byte access ------------------------------------------------
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` raw bytes (no alignment truncation)."""
+        self._check(addr, nbytes)
+        return bytes(self._data[addr:addr + nbytes])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write raw bytes (no alignment truncation)."""
+        self._check(addr, len(data))
+        self._data[addr:addr + len(data)] = data
+
+    # -- vector access with hardware truncation --------------------------
+
+    def vload(self, addr: int, V: int) -> bytes:
+        """Load ``V`` contiguous bytes from ``addr`` truncated down to a
+        multiple of ``V`` — the paper's alignment-constrained load."""
+        base = addr - (addr % V)
+        return self.read(base, V)
+
+    def vstore(self, addr: int, data: bytes, V: int) -> None:
+        """Store a full vector at ``addr`` truncated down to a multiple of
+        ``V`` — the paper's alignment-constrained store."""
+        if len(data) != V:
+            raise MachineError(f"vstore of {len(data)} bytes on a {V}-byte machine")
+        base = addr - (addr % V)
+        self.write(base, data)
+
+    # -- helpers ---------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """An immutable copy of the whole memory, for equivalence checks."""
+        return bytes(self._data)
+
+    def clone(self) -> "Memory":
+        copy = Memory.__new__(Memory)
+        copy._data = bytearray(self._data)
+        copy.size = self.size
+        return copy
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MachineError(
+                f"access [{addr}, {addr + nbytes}) outside memory of size {self.size}"
+            )

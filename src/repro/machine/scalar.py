@@ -1,0 +1,154 @@
+"""Scalar reference executor: golden semantics + ideal scalar op counts.
+
+Executing the loop IR directly, one original iteration at a time, gives
+
+* the ground-truth memory state every simdization must reproduce
+  byte-for-byte, and
+* the paper's "idealistic scalar instruction count" baseline (SEQ):
+  one operation per load, per arithmetic node, and per store — no
+  address or loop overhead — e.g. 6 loads + 5 adds + 1 store = 12
+  operations per datum for the Section 5.5 single-statement loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.ir.expr import BinOp, Const, Expr, Loop, LoopIndex, Reduction, Ref, ScalarVar
+from repro.machine.arrays import ArraySpace
+from repro.machine.counters import OpCounters, SARITH, SLOAD, SSTORE
+from repro.machine.memory import Memory
+
+
+@dataclass
+class RunBindings:
+    """Runtime values for a loop execution.
+
+    ``trip`` must be given when the loop's upper bound is symbolic; for
+    a compile-time bound it may be omitted (or must match).  ``scalars``
+    binds the loop-invariant :class:`~repro.ir.expr.ScalarVar` operands.
+    """
+
+    trip: int | None = None
+    scalars: dict[str, int] = field(default_factory=dict)
+
+    def resolve_trip(self, loop: Loop) -> int:
+        if isinstance(loop.upper, int):
+            if self.trip is not None and self.trip != loop.upper:
+                raise MachineError(
+                    f"trip count mismatch: loop has compile-time trip "
+                    f"{loop.upper}, bindings say {self.trip}"
+                )
+            return loop.upper
+        if self.trip is None:
+            raise MachineError(f"runtime trip count {loop.upper!r} is unbound")
+        if self.trip < 0:
+            raise MachineError(f"negative trip count {self.trip}")
+        return self.trip
+
+    def scalar(self, name: str) -> int:
+        try:
+            return self.scalars[name]
+        except KeyError:
+            raise MachineError(f"runtime scalar {name!r} is unbound") from None
+
+
+@dataclass
+class ScalarRunResult:
+    """Outcome of a scalar reference execution."""
+
+    counters: OpCounters
+    trip: int
+
+    @property
+    def ops(self) -> int:
+        return self.counters.total
+
+    @property
+    def data_count(self) -> int:
+        """Number of data elements computed (one per statement per iteration)."""
+        return self._data_count
+
+    _data_count: int = 0
+
+
+def run_scalar(
+    loop: Loop,
+    space: ArraySpace,
+    mem: Memory,
+    bindings: RunBindings | None = None,
+) -> ScalarRunResult:
+    """Execute ``loop`` iteration-by-iteration on ``mem``; return op counts."""
+    bindings = bindings or RunBindings()
+    trip = bindings.resolve_trip(loop)
+    counters = OpCounters()
+
+    bound = {arr.name: space[arr.name] for arr in loop.arrays()}
+
+    def eval_expr(expr: Expr, i: int) -> int:
+        dtype = loop.dtype
+        if isinstance(expr, Ref):
+            counters.bump(SLOAD)
+            return bound[expr.array.name].load(mem, i + expr.offset)
+        if isinstance(expr, Const):
+            return dtype.wrap(expr.value)
+        if isinstance(expr, ScalarVar):
+            return dtype.wrap(bindings.scalar(expr.name))
+        if isinstance(expr, LoopIndex):
+            # The counter lives in a register; using it as a value is free.
+            return dtype.wrap(i)
+        if isinstance(expr, BinOp):
+            left = eval_expr(expr.left, i)
+            right = eval_expr(expr.right, i)
+            counters.bump(SARITH)
+            return expr.op.apply(left, right, dtype)
+        raise MachineError(f"unknown expression node {type(expr).__name__}")
+
+    reductions = [s for s in loop.statements if isinstance(s, Reduction)]
+    if reductions:
+        # Ideal scalar reductions keep the accumulator in a register:
+        # one load of the initial value and one final store, with one
+        # accumulate op per iteration.
+        accs: list[int] = []
+        for stmt in reductions:
+            counters.bump(SLOAD)
+            accs.append(bound[stmt.target.array.name].load(mem, stmt.target.offset))
+        for i in range(trip):
+            for k, stmt in enumerate(reductions):
+                value = eval_expr(stmt.expr, i)
+                counters.bump(SARITH)
+                accs[k] = stmt.op.apply(accs[k], value, loop.dtype)
+        for k, stmt in enumerate(reductions):
+            counters.bump(SSTORE)
+            bound[stmt.target.array.name].store(mem, stmt.target.offset, accs[k])
+    else:
+        for i in range(trip):
+            for stmt in loop.statements:
+                value = eval_expr(stmt.expr, i)
+                counters.bump(SSTORE)
+                bound[stmt.target.array.name].store(mem, i + stmt.target.offset, value)
+
+    result = ScalarRunResult(counters=counters, trip=trip)
+    result._data_count = trip * len(loop.statements)
+    return result
+
+
+def ideal_scalar_ops(loop: Loop, trip: int) -> int:
+    """Analytic ideal scalar op count (loads + arith + stores) — no execution."""
+    per_iter = 0
+    fixed = 0
+    for stmt in loop.statements:
+        per_iter += len(stmt.loads())
+        per_iter += sum(1 for n in stmt.expr.walk() if isinstance(n, BinOp))
+        if isinstance(stmt, Reduction):
+            per_iter += 1  # the accumulate op
+            fixed += 2     # initial load + final store of the accumulator
+        else:
+            per_iter += 1  # the store
+    return per_iter * trip + fixed
+
+
+def ideal_scalar_opd(loop: Loop) -> float:
+    """Ideal scalar operations per datum (trip-count independent)."""
+    return ideal_scalar_ops(loop, trip=1) / len(loop.statements)

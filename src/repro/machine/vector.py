@@ -1,0 +1,80 @@
+"""Byte-level semantics of the paper's generic data reorganization ops.
+
+These functions define, once, what ``vsplat`` / ``vshiftpair`` /
+``vsplice`` and elementwise arithmetic mean on raw vector bytes
+(paper Section 2.2).  Both the interpreter and the unit/property tests
+use them, so any disagreement with the codegen shows up immediately.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.ir.types import BinaryOp, DataType
+
+
+def vsplat(value: int, dtype: DataType, V: int) -> bytes:
+    """Replicate a scalar into all ``V / D`` lanes (paper's ``vsplat``)."""
+    if V % dtype.size:
+        raise MachineError(f"vector length {V} not a multiple of lane size {dtype.size}")
+    return dtype.to_bytes(value) * (V // dtype.size)
+
+
+def vshiftpair(v1: bytes, v2: bytes, shift: int, V: int) -> bytes:
+    """Select bytes ``shift .. shift+V-1`` from ``v1 ++ v2``.
+
+    The paper specifies ``0 <= shift < V``; we additionally accept
+    ``shift == V`` (select ``v2`` whole) because the runtime right-shift
+    amount ``V - ((to - from) mod V)`` degenerates to ``V`` when the
+    source and target offsets coincide.  AltiVec ``vec_perm`` handles
+    this the same way (permute indices 16..31 select the second input).
+    """
+    _check_vec(v1, V)
+    _check_vec(v2, V)
+    if not 0 <= shift <= V:
+        raise MachineError(f"vshiftpair shift {shift} outside [0, {V}]")
+    pair = v1 + v2
+    return pair[shift:shift + V]
+
+
+def vsplice(v1: bytes, v2: bytes, point: int, V: int) -> bytes:
+    """Concatenate the first ``point`` bytes of ``v1`` with the last
+    ``V - point`` bytes of ``v2`` (paper's ``vsplice``).
+
+    ``point == 0`` copies ``v2``; ``point == V`` copies ``v1``.
+    """
+    _check_vec(v1, V)
+    _check_vec(v2, V)
+    if not 0 <= point <= V:
+        raise MachineError(f"vsplice point {point} outside [0, {V}]")
+    return v1[:point] + v2[point:]
+
+
+def vbinop(op: BinaryOp, v1: bytes, v2: bytes, dtype: DataType, V: int) -> bytes:
+    """Apply ``op`` lane-wise to two vectors of ``dtype`` elements."""
+    _check_vec(v1, V)
+    _check_vec(v2, V)
+    D = dtype.size
+    out = bytearray(V)
+    for k in range(0, V, D):
+        a = dtype.from_bytes(v1[k:k + D])
+        b = dtype.from_bytes(v2[k:k + D])
+        out[k:k + D] = dtype.to_bytes(op.apply(a, b, dtype))
+    return bytes(out)
+
+
+def lanes(vec: bytes, dtype: DataType) -> list[int]:
+    """Decode a vector into its lane values (index 0 = lowest address)."""
+    D = dtype.size
+    if len(vec) % D:
+        raise MachineError(f"{len(vec)}-byte vector not a multiple of lane size {D}")
+    return [dtype.from_bytes(vec[k:k + D]) for k in range(0, len(vec), D)]
+
+
+def from_lanes(values: list[int], dtype: DataType) -> bytes:
+    """Encode lane values into vector bytes (inverse of :func:`lanes`)."""
+    return b"".join(dtype.to_bytes(v) for v in values)
+
+
+def _check_vec(vec: bytes, V: int) -> None:
+    if len(vec) != V:
+        raise MachineError(f"expected a {V}-byte vector, got {len(vec)} bytes")

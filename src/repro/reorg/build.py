@@ -1,0 +1,42 @@
+"""Build bare reorganization graphs from loop IR.
+
+"First, the loop is simdized as if for a machine with no alignment
+constraints" (paper Section 1): the bare graph is a one-to-one mapping
+of the scalar expression tree onto vector nodes, with no reordering
+operations.  The shift-placement policies then make it valid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.ir.expr import BinOp, Const, Expr, Loop, LoopIndex, Ref, ScalarVar, Statement
+from repro.reorg.graph import LoopGraph, RIota, RLoad, RNode, ROp, RSplat, RStore, StatementGraph
+
+
+def build_expr(expr: Expr, loop: Loop) -> RNode:
+    """Map a scalar expression tree onto bare vector graph nodes."""
+    if isinstance(expr, Ref):
+        return RLoad(expr)
+    if isinstance(expr, (Const, ScalarVar)):
+        return RSplat(expr)
+    if isinstance(expr, LoopIndex):
+        return RIota()
+    if isinstance(expr, BinOp):
+        return ROp(
+            expr.op,
+            (build_expr(expr.left, loop), build_expr(expr.right, loop)),
+            loop.dtype,
+        )
+    raise GraphError(f"cannot simdize expression node {type(expr).__name__}")
+
+
+def build_statement(stmt: Statement, index: int, loop: Loop) -> StatementGraph:
+    return StatementGraph(RStore(stmt.target, build_expr(stmt.expr, loop)), index)
+
+
+def build_loop_graph(loop: Loop, V: int) -> LoopGraph:
+    """The bare (alignment-oblivious) reorganization graph of a loop."""
+    graph = LoopGraph(loop=loop, V=V)
+    for index, stmt in enumerate(loop.statements):
+        graph.statements.append(build_statement(stmt, index, loop))
+    return graph

@@ -1,0 +1,205 @@
+"""Stream-shift placement policies (paper Section 3.4).
+
+Given a bare reorganization graph, each policy inserts
+:class:`~repro.reorg.graph.RShiftStream` nodes to make the graph valid
+while minimizing (to a varying degree) the number of shifts:
+
+========== ===================================================================
+zero       shift every misaligned load to offset 0 right after the load, and
+           the store stream from 0 to the store alignment right before the
+           store.  Least optimized, but the only policy whose shift
+           *directions* are compile-time determined under runtime alignments
+           (loads always shift left, stores always shift right — Section 4.4).
+eager      shift every misaligned load directly to the store alignment.
+lazy       like eager, but delay shifts while constraint (C.3) already holds:
+           relatively aligned operands compute at their common offset and
+           only the result is shifted.
+dominant   shift streams to the most frequent offset in the statement graph,
+           then shift the result to the store alignment; most effective after
+           lazy-style delaying, which is how it is implemented here.
+========== ===================================================================
+
+``eager``/``lazy``/``dominant`` require every stream offset to be a
+compile-time constant; with runtime alignments they raise
+:class:`~repro.errors.PolicyError` and the driver falls back to
+``zero`` (exactly the paper's rule).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.align.offsets import ANY, KnownOffset, Offset, ZERO, compatible
+from repro.errors import PolicyError
+from repro.reorg.graph import (
+    LoopGraph,
+    RIota,
+    RLoad,
+    RNode,
+    ROp,
+    RShiftStream,
+    RSplat,
+    RStore,
+    StatementGraph,
+)
+
+POLICY_NAMES = ("zero", "eager", "lazy", "dominant")
+
+
+def apply_policy(graph: LoopGraph, policy: str) -> LoopGraph:
+    """Return a new, valid loop graph with shifts placed per ``policy``."""
+    try:
+        func = _POLICIES[policy]
+    except KeyError:
+        raise PolicyError(f"unknown policy {policy!r}; expected one of {POLICY_NAMES}") from None
+    out = LoopGraph(loop=graph.loop, V=graph.V)
+    for sg in graph.statements:
+        out.statements.append(func(sg, graph.V))
+    return out
+
+
+def default_policy(graph: LoopGraph) -> str:
+    """The best generally applicable policy: ``dominant`` when every offset
+    is compile-time known, otherwise ``zero`` (paper Section 4.4)."""
+    return "zero" if _has_runtime_offsets(graph) else "dominant"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _has_runtime_offsets(graph: LoopGraph) -> bool:
+    for sg in graph.statements:
+        for node in sg.store.walk():
+            if node.offset(graph.V).is_runtime:
+                return True
+    return False
+
+
+def _shift_to(node: RNode, to: Offset, V: int) -> RNode:
+    """Wrap ``node`` in a stream shift to ``to`` unless already compatible."""
+    if compatible(node.offset(V), to):
+        return node
+    return RShiftStream(node, to)
+
+
+def _require_known(sg: StatementGraph, V: int, policy: str) -> None:
+    for node in sg.store.walk():
+        if node.offset(V).is_runtime:
+            raise PolicyError(
+                f"policy {policy!r} needs compile-time alignments, but "
+                f"{node} has runtime offset (use the zero-shift policy)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Zero-shift
+# ---------------------------------------------------------------------------
+
+def zero_shift_expr(node: RNode, V: int) -> RNode:
+    """Zero-shift placement on a bare expression tree: every misaligned
+    (or runtime-aligned) stream is shifted to offset 0 after its load.
+    Shared by the regular policy and the reduction vectorizer (whose
+    accumulators want offset-0 blocks)."""
+    if isinstance(node, (RLoad, RIota)):
+        return _shift_to(node, ZERO, V)
+    if isinstance(node, RSplat):
+        return node
+    if isinstance(node, ROp):
+        return ROp(node.op, tuple(zero_shift_expr(c, V) for c in node.inputs),
+                   node.dtype)
+    raise PolicyError(f"unexpected node {node} in bare graph")
+
+
+def zero_shift(sg: StatementGraph, V: int) -> StatementGraph:
+    src = zero_shift_expr(sg.store.src, V)
+    src = _shift_to(src, sg.store.offset(V), V)
+    return StatementGraph(RStore(sg.store.ref, src), sg.statement_index)
+
+
+# ---------------------------------------------------------------------------
+# Eager-shift
+# ---------------------------------------------------------------------------
+
+def eager_shift(sg: StatementGraph, V: int) -> StatementGraph:
+    _require_known(sg, V, "eager")
+    store_off = sg.store.offset(V)
+
+    def rebuild(node: RNode) -> RNode:
+        if isinstance(node, (RLoad, RIota)):
+            return _shift_to(node, store_off, V)
+        if isinstance(node, RSplat):
+            return node
+        if isinstance(node, ROp):
+            return ROp(node.op, tuple(rebuild(c) for c in node.inputs), node.dtype)
+        raise PolicyError(f"unexpected node {node} in bare graph")
+
+    return StatementGraph(RStore(sg.store.ref, rebuild(sg.store.src)), sg.statement_index)
+
+
+# ---------------------------------------------------------------------------
+# Lazy-shift and dominant-shift share a delayed-shift rebuild
+# ---------------------------------------------------------------------------
+
+def _delayed_rebuild(sg: StatementGraph, V: int, target: Offset) -> StatementGraph:
+    """Shift only where (C.3) would break, using ``target`` as the meeting
+    offset, then satisfy (C.2) at the store."""
+
+    def rebuild(node: RNode) -> RNode:
+        if isinstance(node, (RLoad, RSplat, RIota)):
+            return node
+        if isinstance(node, ROp):
+            children = [rebuild(c) for c in node.inputs]
+            defined = [c.offset(V) for c in children if not c.offset(V).is_any]
+            if not defined or all(off == defined[0] for off in defined[1:]):
+                return ROp(node.op, tuple(children), node.dtype)
+            children = [_shift_to(c, target, V) for c in children]
+            return ROp(node.op, tuple(children), node.dtype)
+        raise PolicyError(f"unexpected node {node} in bare graph")
+
+    src = _shift_to(rebuild(sg.store.src), sg.store.offset(V), V)
+    return StatementGraph(RStore(sg.store.ref, src), sg.statement_index)
+
+
+def lazy_shift(sg: StatementGraph, V: int) -> StatementGraph:
+    _require_known(sg, V, "lazy")
+    return _delayed_rebuild(sg, V, sg.store.offset(V))
+
+
+def dominant_offset(sg: StatementGraph, V: int) -> Offset:
+    """The most frequent stream offset among the statement's references.
+
+    The store reference participates with weight one; ties prefer the
+    store alignment (saving the final (C.2) shift), then the smallest
+    offset value, making the choice deterministic.
+    """
+    counts: Counter[int] = Counter()
+    for node in sg.store.walk():
+        if isinstance(node, (RLoad, RIota)):
+            off = node.offset(V)
+            assert isinstance(off, KnownOffset)
+            counts[off.value] += 1
+    store_off = sg.store.offset(V)
+    assert isinstance(store_off, KnownOffset)
+    counts[store_off.value] += 1
+
+    def rank(item: tuple[int, int]) -> tuple[int, int, int]:
+        value, count = item
+        return (-count, 0 if value == store_off.value else 1, value)
+
+    best_value = min(counts.items(), key=rank)[0]
+    return KnownOffset(best_value)
+
+
+def dominant_shift(sg: StatementGraph, V: int) -> StatementGraph:
+    _require_known(sg, V, "dominant")
+    return _delayed_rebuild(sg, V, dominant_offset(sg, V))
+
+
+_POLICIES: dict[str, Callable[[StatementGraph, int], StatementGraph]] = {
+    "zero": zero_shift,
+    "eager": eager_shift,
+    "lazy": lazy_shift,
+    "dominant": dominant_shift,
+}

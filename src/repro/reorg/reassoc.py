@@ -1,0 +1,94 @@
+"""Common-offset reassociation (paper Section 5.5, *OffsetReassoc*).
+
+"The associativity and commutativity of the computation are used to
+group computations with identical offsets to make the lazy-shift and
+dominant-shift policies more successful."
+
+Applied to the *bare* graph (before shift placement): every maximal
+chain of one associative-commutative operator is flattened, its
+operands are grouped by stream offset, each group is combined first,
+and the group results are folded together.  The group containing the
+store's offset is folded first so the delayed-shift policies pay at
+most one shift per remaining group — the ``n−1`` shifts of the paper's
+lower bound for ``n`` distinct alignments.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.align.offsets import Offset
+from repro.errors import GraphError
+from repro.reorg.graph import LoopGraph, RIota, RLoad, RNode, ROp, RShiftStream, RSplat, RStore, StatementGraph
+
+
+def reassociate(graph: LoopGraph) -> LoopGraph:
+    """Return a new loop graph with common-offset reassociation applied."""
+    out = LoopGraph(loop=graph.loop, V=graph.V)
+    for sg in graph.statements:
+        out.statements.append(_reassociate_statement(sg, graph.V))
+    return out
+
+
+def _reassociate_statement(sg: StatementGraph, V: int) -> StatementGraph:
+    store_off = sg.store.offset(V)
+    src = _rebuild(sg.store.src, V, store_off)
+    return StatementGraph(RStore(sg.store.ref, src), sg.statement_index)
+
+
+def _rebuild(node: RNode, V: int, store_off: Offset) -> RNode:
+    if isinstance(node, (RLoad, RSplat, RIota)):
+        return node
+    if isinstance(node, RShiftStream):
+        raise GraphError("reassociation must run before shift placement")
+    if isinstance(node, ROp):
+        if not (node.op.associative and node.op.commutative):
+            children = tuple(_rebuild(c, V, store_off) for c in node.inputs)
+            return ROp(node.op, children, node.dtype)
+        operands = [_rebuild(c, V, store_off) for c in _flatten(node)]
+        return _regroup(node, operands, V, store_off)
+    raise GraphError(f"unexpected node {node} in bare graph")
+
+
+def _flatten(node: ROp) -> list[RNode]:
+    """Operands of the maximal same-operator chain rooted at ``node``."""
+    operands: list[RNode] = []
+    for child in node.inputs:
+        if isinstance(child, ROp) and child.op == node.op:
+            operands.extend(_flatten(child))
+        else:
+            operands.append(child)
+    return operands
+
+
+def _regroup(node: ROp, operands: list[RNode], V: int, store_off: Offset) -> RNode:
+    groups: dict[object, list[RNode]] = {}
+    order: list[object] = []
+    for operand in operands:
+        key = _offset_key(operand.offset(V))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(operand)
+
+    def combine(items: list[RNode]) -> RNode:
+        return reduce(lambda a, b: ROp(node.op, (a, b), node.dtype), items)
+
+    store_key = _offset_key(store_off)
+
+    def rank(key: object) -> tuple[int, int, str]:
+        # Store-offset group first, then larger groups, then stable order.
+        return (
+            0 if key == store_key else 1,
+            -len(groups[key]),
+            str(key),
+        )
+
+    ordered = sorted(order, key=rank)
+    parts = [combine(groups[key]) for key in ordered]
+    return combine(parts)
+
+
+def _offset_key(off: Offset) -> object:
+    """A hashable grouping key distinguishing known / runtime / splat offsets."""
+    return off

@@ -1,0 +1,66 @@
+"""Validity checking of data reorganization graphs.
+
+Implements the paper's constraints:
+
+* **(C.2)** ``O_src == addr(i=0) mod V`` at every ``vstore`` node;
+* **(C.3)** ``O_src1 == O_src2 == ... == O_srcn`` at every ``vop`` node;
+
+with ⊥ (splat) matching any defined offset.  Policies must produce
+graphs passing :func:`validate_graph`; the driver asserts this before
+code generation, and property tests assert it for random loops.
+"""
+
+from __future__ import annotations
+
+from repro.align.offsets import Offset, compatible
+from repro.errors import GraphError
+from repro.reorg.graph import LoopGraph, RNode, ROp, RShiftStream, RStore, StatementGraph
+
+
+def validate_statement(sg: StatementGraph, V: int) -> None:
+    """Raise :class:`GraphError` if the statement graph violates (C.2)/(C.3)."""
+    _validate_node(sg.store, V)
+
+
+def validate_graph(graph: LoopGraph) -> None:
+    """Raise :class:`GraphError` if any statement graph is invalid."""
+    for sg in graph.statements:
+        validate_statement(sg, graph.V)
+
+
+def is_valid(graph: LoopGraph) -> bool:
+    try:
+        validate_graph(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def _validate_node(node: RNode, V: int) -> None:
+    # Children first: the deepest violation gives the most precise
+    # diagnostic (a bad operand also breaks every enclosing constraint).
+    for child in node.children():
+        _validate_node(child, V)
+    if isinstance(node, RStore):
+        store_off = node.offset(V)
+        src_off = node.src.offset(V)
+        if not compatible(src_off, store_off):
+            raise GraphError(
+                f"(C.2) violated at {node}: source stream offset {src_off} "
+                f"!= store alignment {store_off}"
+            )
+    if isinstance(node, ROp):
+        offsets = [child.offset(V) for child in node.inputs]
+        defined: list[Offset] = [o for o in offsets if not o.is_any]
+        for off in defined[1:]:
+            if not compatible(defined[0], off):
+                raise GraphError(
+                    f"(C.3) violated at {node}: input offsets "
+                    f"{[str(o) for o in offsets]} do not match"
+                )
+    if isinstance(node, RShiftStream):
+        src_off = node.src.offset(V)
+        if src_off.is_any:
+            raise GraphError(f"shifting a splat stream is meaningless: {node}")
+        if node.to.is_known and not 0 <= node.to.value < V:
+            raise GraphError(f"shift target {node.to} outside [0, {V})")

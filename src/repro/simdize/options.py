@@ -1,0 +1,81 @@
+"""User-facing simdization options."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PolicyError
+from repro.reorg.policies import POLICY_NAMES
+
+REUSE_MODES = ("none", "sp", "pc", "sp+pc")
+
+
+@dataclass(frozen=True)
+class SimdOptions:
+    """Configuration of a simdization run.
+
+    ``policy``
+        Stream-shift placement: ``"zero"``, ``"eager"``, ``"lazy"``,
+        ``"dominant"``, or ``"auto"`` (dominant when all alignments are
+        compile-time, zero otherwise — the paper's Section 4.4 rule).
+    ``reuse``
+        How consecutive-iteration reuse of misaligned streams is
+        exploited: ``"sp"`` = software-pipelined generation
+        (Figure 10), ``"pc"`` = the predictive-commoning IR pass,
+        ``"sp+pc"`` = both, ``"none"`` = neither (redundant loads
+        remain, as in the paper's unoptimized schemes).
+    ``memnorm``
+        Memory normalization: canonicalize vector-load addresses to
+        their aligned vector so redundancy elimination can merge loads
+        that hit the same 16-byte location (paper Section 5.5).
+    ``offset_reassoc``
+        Common-offset reassociation of associative-commutative
+        expression chains before shift placement (paper Section 5.5).
+    ``cse``
+        Local common-subexpression elimination on the steady body.
+    ``unroll``
+        Steady-loop unroll factor (1 = none).  Factors >= 2 also rotate
+        the software-pipelining copies away, as the paper removes them
+        "by unrolling the loop twice and forward propagating the copy".
+    ``bounds_scheme``
+        ``"auto"`` (default), or force ``"single"`` (eq. 10/11) /
+        ``"general"`` (eq. 12/15/16).
+    """
+
+    policy: str = "auto"
+    reuse: str = "sp"
+    memnorm: bool = True
+    offset_reassoc: bool = False
+    cse: bool = True
+    unroll: int = 1
+    bounds_scheme: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES + ("auto",):
+            raise PolicyError(f"unknown policy {self.policy!r}")
+        if self.reuse not in REUSE_MODES:
+            raise PolicyError(f"unknown reuse mode {self.reuse!r}")
+        if self.unroll < 1:
+            raise PolicyError(f"unroll factor must be >= 1, got {self.unroll}")
+        if self.bounds_scheme not in ("auto", "single", "general"):
+            raise PolicyError(f"unknown bounds scheme {self.bounds_scheme!r}")
+
+    @property
+    def software_pipeline(self) -> bool:
+        return "sp" in self.reuse.split("+")
+
+    @property
+    def predictive_commoning(self) -> bool:
+        return "pc" in self.reuse.split("+")
+
+    def with_(self, **kwargs) -> "SimdOptions":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's benchmark scheme names, e.g. ``LAZY-pc`` / ``DOM-sp``.
+def scheme_name(options: SimdOptions) -> str:
+    policy = options.policy.upper()
+    if options.reuse == "none":
+        return policy
+    return f"{policy}-{options.reuse}"

@@ -1,0 +1,127 @@
+"""AltiVec-flavoured pretty-printer for vector programs.
+
+The paper implements the generic reorganization ops on AltiVec as
+``vec_perm`` (for ``vshiftpair``), ``vec_sel`` (for ``vsplice``) and
+``vec_splat``; loads/stores are ``vec_ld``/``vec_st``.  This printer
+emits readable pseudo-C in that dialect so examples and docs can show
+the code each policy produces.
+"""
+
+from __future__ import annotations
+
+from repro.vir.program import VProgram
+from repro.vir.vexpr import (
+    Addr,
+    SExpr,
+    VBinE,
+    VExpr,
+    VIotaE,
+    VLoadE,
+    VRegE,
+    VShiftPairE,
+    VSpliceE,
+    VSplatE,
+)
+from repro.vir.vstmt import Section, SetS, SetV, VStmt, VStoreS
+
+
+def _amount(value) -> str:
+    return str(value)
+
+
+def _addr(addr: Addr, D: int) -> str:
+    if addr.elem == 0:
+        return f"&{addr.array}[i]"
+    sign = "+" if addr.elem > 0 else "-"
+    return f"&{addr.array}[i {sign} {abs(addr.elem)}]"
+
+
+def _vexpr(expr: VExpr, D: int, altivec: bool) -> str:
+    if isinstance(expr, VLoadE):
+        op = "vec_ld(0, " if altivec else "vload("
+        return f"{op}{_addr(expr.addr, D)})"
+    if isinstance(expr, VShiftPairE):
+        name = "vec_perm" if altivec else "vshiftpair"
+        return (f"{name}({_vexpr(expr.a, D, altivec)}, "
+                f"{_vexpr(expr.b, D, altivec)}, {_amount(expr.shift)})")
+    if isinstance(expr, VSpliceE):
+        name = "vec_sel" if altivec else "vsplice"
+        return (f"{name}({_vexpr(expr.a, D, altivec)}, "
+                f"{_vexpr(expr.b, D, altivec)}, {_amount(expr.point)})")
+    if isinstance(expr, VSplatE):
+        name = "vec_splat" if altivec else "vsplat"
+        return f"{name}({expr.operand})"
+    if isinstance(expr, VBinE):
+        name = f"vec_{expr.op.name}" if altivec else f"v{expr.op.name}"
+        return f"{name}({_vexpr(expr.a, D, altivec)}, {_vexpr(expr.b, D, altivec)})"
+    if isinstance(expr, VIotaE):
+        name = "vec_iota" if altivec else "viota"
+        if expr.bias == 0:
+            return f"{name}(i)"
+        sign = "+" if expr.bias > 0 else "-"
+        return f"{name}(i {sign} {abs(expr.bias)})"
+    if isinstance(expr, VRegE):
+        return expr.name
+    raise TypeError(f"unknown vector expression {type(expr).__name__}")
+
+
+def _stmt(stmt: VStmt, D: int, altivec: bool) -> str:
+    if isinstance(stmt, SetS):
+        return f"{stmt.reg} = {stmt.expr};"
+    if isinstance(stmt, SetV):
+        return f"{stmt.reg} = {_vexpr(stmt.expr, D, altivec)};"
+    if isinstance(stmt, VStoreS):
+        store = "vec_st" if altivec else "vstore"
+        return f"{store}({_vexpr(stmt.src, D, altivec)}, 0, {_addr(stmt.addr, D)});"
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _section(sec: Section, D: int, altivec: bool, indent: str) -> list[str]:
+    lines = []
+    header = f"// --- {sec.label}"
+    if sec.i_expr is not None:
+        header += f"  (i = {sec.i_expr})"
+    lines.append(indent + header)
+    if sec.cond is not None:
+        lines.append(indent + f"if ({sec.cond}) {{")
+        inner = indent + "  "
+    else:
+        inner = indent
+    for stmt in sec.stmts:
+        lines.append(inner + _stmt(stmt, D, altivec))
+    if sec.cond is not None:
+        lines.append(indent + "}")
+    return lines
+
+
+def format_program(program: VProgram, altivec: bool = True) -> str:
+    """Render a vector program as AltiVec-flavoured (or generic) pseudo-C."""
+    D = program.D
+    lines: list[str] = []
+    lines.append(f"// simdized '{program.source.name}'  "
+                 f"(V={program.V} bytes, {program.source.dtype} lanes, B={program.B})")
+    if program.guard_min_trip is not None:
+        lines.append(f"if (ub <= {program.guard_min_trip}) {{ /* original scalar loop */ }}")
+        lines.append("else {")
+    indent = "  " if program.guard_min_trip is not None else ""
+    if program.preheader:
+        lines.append(indent + "// --- preheader")
+        for stmt in program.preheader:
+            lines.append(indent + _stmt(stmt, D, altivec))
+    for sec in program.prologue:
+        lines.extend(_section(sec, D, altivec, indent))
+    steady = program.steady
+    if steady is not None:
+        lines.append(indent + f"for (i = {steady.lb}; i < {steady.ub}; i += {steady.step}) {{")
+        for stmt in steady.body:
+            lines.append(indent + "  " + _stmt(stmt, D, altivec))
+        if steady.bottom:
+            lines.append(indent + "  // bottom-of-loop copies")
+            for stmt in steady.bottom:
+                lines.append(indent + "  " + _stmt(stmt, D, altivec))
+        lines.append(indent + "}")
+    for sec in program.epilogue:
+        lines.extend(_section(sec, D, altivec, indent))
+    if program.guard_min_trip is not None:
+        lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""ASCII visualizations of streams and benchmark results."""
+
+from repro.viz.streams import (
+    StreamDiagram,
+    loop_alignment_table,
+    memory_stream,
+    register_stream,
+    shifted_stream,
+    statement_diagram,
+)
+
+__all__ = [
+    "StreamDiagram", "loop_alignment_table", "memory_stream",
+    "register_stream", "shifted_stream", "statement_diagram",
+]

@@ -1,0 +1,145 @@
+"""ASCII visualization of memory and register streams.
+
+Renders the diagrams the paper uses throughout Sections 1–3 (Figures
+2–5): an array's memory stream with 16-byte boundaries marked, the
+register stream a ``vload`` produces for a misaligned reference, and
+the effect of a stream shift — so users can *see* a stream offset
+instead of computing it.
+
+Example (``b[i+1]`` on 16-byte-aligned int32 ``b``)::
+
+    memory  |b0  b1  b2  b3 |b4  b5  b6  b7 |b8  ...
+    stream       ^ desired values start at byte offset 4
+    vload   [b0  b1  b2  b3]  offset = 4
+    shifted [b1  b2  b3  b4]  offset = 0   (vshiftpair with next, 4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.analysis import ref_offset
+from repro.align.offsets import KnownOffset
+from repro.errors import SimdalError
+from repro.ir.expr import Loop, Ref, Statement
+
+
+@dataclass
+class StreamDiagram:
+    """A rendered diagram plus the numbers it depicts."""
+
+    text: str
+    offset: int | None
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _cell(name: str, index: int, width: int = 4) -> str:
+    return f"{name}{index}".ljust(width)
+
+
+def memory_stream(ref: Ref, V: int = 16, vectors: int = 3) -> StreamDiagram:
+    """The memory stream of a stride-one reference (paper Figure 2a/4b)."""
+    decl = ref.array
+    D = decl.dtype.size
+    B = V // D
+    off = ref_offset(ref, V)
+    if not isinstance(off, KnownOffset):
+        raise SimdalError(
+            f"{ref} has a runtime alignment; concrete diagrams need a "
+            "compile-time base (pick a residue and declare it)"
+        )
+    align_elems = (decl.align or 0) // D
+
+    rows = []
+    header = []
+    first_elem = -align_elems  # element index at the first vector boundary
+    for v in range(vectors):
+        cells = [
+            _cell(decl.name, first_elem + v * B + k)
+            if first_elem + v * B + k >= 0 else " .  "
+            for k in range(B)
+        ]
+        header.append("".join(cells))
+    rows.append("memory  |" + "|".join(header) + "|")
+    marker_pos = 9 + off.value // D * 4
+    rows.append(" " * marker_pos + f"^ {ref} starts at byte offset {off.value}")
+    return StreamDiagram("\n".join(rows), off.value)
+
+
+def register_stream(ref: Ref, V: int = 16, registers: int = 3) -> StreamDiagram:
+    """The registers successive truncating vloads produce (Figure 2b/2c)."""
+    decl = ref.array
+    D = decl.dtype.size
+    B = V // D
+    off = ref_offset(ref, V)
+    if not isinstance(off, KnownOffset):
+        raise SimdalError(f"{ref} has a runtime alignment")
+    lead = off.value // D  # extra values before the first desired one
+    first = ref.offset - lead
+
+    rows = []
+    for r in range(registers):
+        cells = []
+        for k in range(B):
+            elem = first + r * B + k
+            cells.append(_cell(decl.name, elem) if elem >= 0 else " .  ")
+        note = f"  offset = {off.value}" if r == 0 else ""
+        rows.append(f"vload #{r} [" + " ".join(cells) + "]" + note)
+    return StreamDiagram("\n".join(rows), off.value)
+
+
+def shifted_stream(ref: Ref, to_offset: int, V: int = 16,
+                   registers: int = 3) -> StreamDiagram:
+    """The register stream after ``vshiftstream(.., to_offset)`` (Fig. 4b/4d)."""
+    decl = ref.array
+    D = decl.dtype.size
+    B = V // D
+    if to_offset % D:
+        raise SimdalError(f"target offset {to_offset} is not a lane boundary")
+    lead = to_offset // D
+    first = ref.offset - lead
+
+    rows = []
+    for r in range(registers):
+        cells = []
+        for k in range(B):
+            elem = first + r * B + k
+            cells.append(_cell(decl.name, elem) if elem >= ref.offset - lead else " .  ")
+        note = f"  offset = {to_offset}" if r == 0 else ""
+        rows.append(f"shift #{r} [" + " ".join(cells) + "]" + note)
+    return StreamDiagram("\n".join(rows), to_offset)
+
+
+def statement_diagram(stmt: Statement, V: int = 16) -> str:
+    """All streams of one statement, annotated with their offsets —
+    a compact rendering of the paper's Figure 3/4 panels."""
+    parts = [f"statement: {stmt}"]
+    for ref in stmt.loads():
+        parts.append(f"-- load {ref}")
+        parts.append(memory_stream(ref, V).text)
+        parts.append(register_stream(ref, V, registers=2).text)
+    parts.append(f"-- store {stmt.target}")
+    parts.append(memory_stream(stmt.target, V).text)
+    return "\n".join(parts)
+
+
+def loop_alignment_table(loop: Loop, V: int = 16) -> str:
+    """One line per reference: its stream offset and mis/alignment."""
+    from repro.ir.expr import Reduction
+
+    rows = [f"{'reference':>14s}  {'offset':>6s}  aligned?"]
+    for stmt in loop.statements:
+        entries = [(str(ref), ref) for ref in stmt.loads()]
+        if isinstance(stmt, Reduction):
+            label = f"{stmt.target.array.name}[{stmt.target.offset}]"
+            entries.append((label, stmt.target))
+        else:
+            entries.append((str(stmt.target), stmt.target))
+        for label, ref in entries:
+            off = ref_offset(ref, V)
+            aligned = ("yes" if off == KnownOffset(0)
+                       else "runtime" if not off.is_known else "no")
+            rows.append(f"{label:>14s}  {str(off):>6s}  {aligned}")
+    return "\n".join(rows)

@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir import LoopBuilder, Loop
+from repro.machine import ArraySpace, RunBindings
+from repro.simdize import SimdOptions, fill_random, make_space, simdize, verify_equivalence
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def build_fig1(trip: int = 100, length: int = 128) -> Loop:
+    lb = LoopBuilder(trip=trip, name="fig1")
+    a = lb.array("a", "int32", length)
+    b = lb.array("b", "int32", length)
+    c = lb.array("c", "int32", length)
+    lb.assign(a[3], b[1] + c[2])
+    return lb.build()
+
+
+def check_loop(
+    loop: Loop,
+    options: SimdOptions | None = None,
+    V: int = 16,
+    seed: int = 0,
+    trip: int | None = None,
+    scalars: dict[str, int] | None = None,
+    residues: dict[str, int] | None = None,
+):
+    """Simdize + execute + byte-verify; return (SimdizeResult, report)."""
+    options = options or SimdOptions()
+    result = simdize(loop, V, options)
+    rand = random.Random(seed)
+    space = make_space(loop, V, rand, residues)
+    mem = space.make_memory()
+    fill_random(space, mem, rand)
+    bindings = RunBindings(trip=trip, scalars=scalars or {})
+    report = verify_equivalence(result.program, space, mem, bindings)
+    return result, report
+
+
+def sequential_memory(loop: Loop, V: int = 16, residues: dict[str, int] | None = None):
+    """An ArraySpace + memory where array[k] == k (handy for exact checks)."""
+    space = ArraySpace(V)
+    rand = random.Random(1)
+    res = dict(residues or {})
+    for decl in loop.arrays():
+        if decl.runtime_aligned and decl.name not in res:
+            res[decl.name] = rand.randrange(0, V, decl.dtype.size)
+    space.place_all(loop.arrays(), res)
+    mem = space.make_memory()
+    for arr in space.arrays():
+        arr.write_all(mem, [arr.decl.dtype.wrap(k) for k in range(arr.decl.length)])
+    return space, mem

@@ -1,0 +1,96 @@
+"""Tests for the comparison baselines: SEQ, loop peeling, VAST preset."""
+
+import pytest
+
+from repro.baselines import (
+    VAST_OPTIONS,
+    measure_peeling,
+    measure_seq,
+    peeling_alignment,
+    peeling_applicable,
+    vast_options,
+)
+from repro.bench.synth import SynthParams, synthesize
+from repro.errors import BenchError
+from repro.ir import LoopBuilder, figure1_loop
+
+
+def uniform_misalignment_loop(trip=60):
+    """Every reference at byte offset 4 — the only shape peeling handles."""
+    length = trip + 8
+    lb = LoopBuilder(trip=trip, name="uniform")
+    a = lb.array("a", "int32", length)
+    b = lb.array("b", "int32", length)
+    c = lb.array("c", "int32", length)
+    lb.assign(a[1], b[1] + c[1])
+    return lb.build()
+
+
+class _SynLike:
+    """Minimal stand-in for SynthesizedLoop when hand-building loops."""
+
+    def __init__(self, loop):
+        self.loop = loop
+        self.base_residues = {}
+        self.seed = 0
+
+
+class TestPeeling:
+    def test_alignment_detection(self):
+        assert peeling_alignment(uniform_misalignment_loop(), 16) == 4
+        assert peeling_alignment(figure1_loop(), 16) is None
+        assert peeling_applicable(uniform_misalignment_loop(), 16)
+        assert not peeling_applicable(figure1_loop(), 16)
+
+    def test_runtime_alignment_not_applicable(self):
+        lb = LoopBuilder(trip=40)
+        a = lb.array("a", "int32", 64, align=None)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[0], b[0])
+        assert not peeling_applicable(lb.build(), 16)
+
+    def test_peeling_executes_correctly(self):
+        m = measure_peeling(_SynLike(uniform_misalignment_loop()), 16)
+        assert m.peeled == 3  # (16-4)/4 iterations to reach alignment
+        assert m.data_count == 60
+        assert m.opd > 0
+
+    def test_peeling_rejects_misaligned_disagreement(self):
+        with pytest.raises(BenchError, match="not applicable"):
+            measure_peeling(_SynLike(figure1_loop()), 16)
+
+    def test_peeling_on_aligned_loop_peels_nothing(self):
+        lb = LoopBuilder(trip=60, name="aligned")
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        lb.assign(a[0], b[4])
+        m = measure_peeling(_SynLike(lb.build()), 16)
+        assert m.peeled == 0
+
+    def test_peeling_beats_scalar_on_its_home_turf(self):
+        syn = _SynLike(uniform_misalignment_loop(trip=200))
+        syn.loop.statements[0].target.array  # touch
+        m = measure_peeling(syn, 16)
+        seq = measure_seq(syn, 16)
+        assert m.opd < seq.opd
+
+
+class TestSeq:
+    def test_seq_opd_matches_ideal(self):
+        params = SynthParams(loads=6, statements=1, trip=50)
+        syn = synthesize(params, seed=0)
+        m = measure_seq(syn)
+        assert m.opd == 12.0
+
+    def test_seq_runtime_trip(self):
+        params = SynthParams(loads=2, statements=1, trip=50, runtime_trip=True)
+        syn = synthesize(params, seed=0)
+        m = measure_seq(syn)
+        assert m.data_count == 50
+
+
+class TestVast:
+    def test_vast_is_zero_sp(self):
+        assert VAST_OPTIONS.policy == "zero"
+        assert VAST_OPTIONS.reuse == "sp"
+        assert vast_options(unroll=4).unroll == 4

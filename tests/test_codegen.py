@@ -1,0 +1,161 @@
+"""Tests for loop-level code generation: bounds, sections, guards."""
+
+import pytest
+
+from repro.codegen import GenOptions, generate_program
+from repro.errors import CodegenError
+from repro.ir import LoopBuilder, figure1_loop
+from repro.reorg import apply_policy, build_loop_graph
+from repro.simdize import SimdOptions, simdize
+from repro.vir import SConst, VSpliceE
+from repro.vir.vstmt import VStoreS
+
+from conftest import check_loop
+
+
+def program_for(loop, policy="zero", sp=False, scheme="auto", V=16):
+    graph = apply_policy(build_loop_graph(loop, V), policy)
+    return generate_program(graph, GenOptions(software_pipeline=sp, bounds_scheme=scheme))
+
+
+class TestSingleStatementBounds:
+    """Equations 8-11 of the paper on the Figure 1 loop (P=12, D=4)."""
+
+    def test_lb_is_peeled_iterations(self):
+        program = program_for(figure1_loop(trip=100))
+        # LB = (V - ProSplice)/D = (16-12)/4 = 1
+        assert program.steady.lb == SConst(1)
+        assert program.steady_residue == 1
+
+    def test_ub_subtracts_episplice(self):
+        program = program_for(figure1_loop(trip=100))
+        # EpiSplice = (12 + 100*4) mod 16 = 12 -> UB = 100 - 3 = 97
+        assert program.steady.ub == SConst(97)
+
+    def test_no_epilogue_when_stream_ends_aligned(self):
+        # trip chosen so (P + trip*D) % V == 0: 12 + t*4 ≡ 0 (16) -> t ≡ 1 (mod 4)
+        program = program_for(figure1_loop(trip=101, length=128))
+        assert program.epilogue == []
+        assert program.steady.ub == SConst(101)
+
+    def test_aligned_store_lb_is_blocking_factor(self):
+        lb = LoopBuilder(trip=64)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        lb.assign(a[0], b[1])
+        program = program_for(lb.build())
+        assert program.steady.lb == SConst(4)
+        assert program.steady_residue == 0
+
+    def test_prologue_splices_at_store_alignment(self):
+        program = program_for(figure1_loop(trip=100))
+        [store] = program.prologue[0].stmts
+        assert isinstance(store, VStoreS)
+        assert isinstance(store.src, VSpliceE)
+        assert store.src.point == 12
+        assert program.prologue[0].i_expr == SConst(0)
+
+    def test_epilogue_splices_at_episplice(self):
+        program = program_for(figure1_loop(trip=100))
+        [sec] = program.epilogue
+        [store] = sec.stmts
+        assert isinstance(store.src, VSpliceE)
+        assert store.src.point == 12
+        assert sec.i_expr == SConst(97)
+
+
+class TestGeneralBounds:
+    """Equations 12/15/16 for multi-statement and runtime cases."""
+
+    def _two_statement_loop(self, trip=64):
+        lb = LoopBuilder(trip=trip)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        d = lb.array("d", "int32", 96)
+        lb.assign(a[1], b[2] + 1)
+        lb.assign(c[3], d[0] + 2)
+        return lb.build()
+
+    def test_lb_is_blocking_factor(self):
+        program = program_for(self._two_statement_loop())
+        assert program.steady.lb == SConst(4)
+
+    def test_ub_is_trip_minus_b_plus_1(self):
+        program = program_for(self._two_statement_loop(trip=64))
+        assert program.steady.ub == SConst(64 - 4 + 1)
+
+    def test_per_statement_prologue_and_epilogue(self):
+        program = program_for(self._two_statement_loop())
+        labels = [sec.label for sec in program.prologue]
+        assert labels == ["prologue_s0", "prologue_s1"]
+        # trip 64 ≡ 0 (mod 4): EpiLeftOver_k = P_k; statement 0 has
+        # P=4 (partial only), statement 1 has P=12 (partial only).
+        epilogue_labels = [sec.label for sec in program.epilogue]
+        assert epilogue_labels == ["epilogue_part_s0", "epilogue_part_s1"]
+
+    def test_epileftover_above_v_adds_full_store(self):
+        # P=12, trip ≡ 2 (mod 4): EpiLeftOver = 12 + 2*4 = 20 >= 16
+        program = program_for(figure1_loop(trip=102, length=136), scheme="general")
+        labels = [sec.label for sec in program.epilogue]
+        assert labels == ["epilogue_full_s0", "epilogue_part_s0"]
+        full, part = program.epilogue
+        assert full.cond is None  # compile-time decided
+        assert isinstance(part.stmts[0].src, VSpliceE)
+        assert part.stmts[0].src.point == 4  # 20 mod 16
+
+    def test_single_statement_can_force_general_scheme(self):
+        loop = figure1_loop(trip=100)
+        single = program_for(loop, scheme="single")
+        general = program_for(loop, scheme="general")
+        assert single.steady.lb == SConst(1)
+        assert general.steady.lb == SConst(4)
+        # both must execute correctly
+        for scheme in ("single", "general"):
+            check_loop(loop, SimdOptions(bounds_scheme=scheme))
+
+    def test_single_scheme_rejected_for_multi_statement(self):
+        graph = apply_policy(build_loop_graph(self._two_statement_loop(), 16), "zero")
+        with pytest.raises(CodegenError, match="single-statement"):
+            generate_program(graph, GenOptions(bounds_scheme="single"))
+
+
+class TestGuards:
+    def test_small_compile_time_trip_always_falls_back(self):
+        lb = LoopBuilder(trip=8)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32)
+        lb.assign(a[1], b[2])
+        program = program_for(lb.build())
+        assert program.steady is None
+        assert program.guard_min_trip == 8
+
+    def test_runtime_trip_guard_is_3b(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 256)
+        b = lb.array("b", "int32", 256)
+        lb.assign(a[1], b[2])
+        program = program_for(lb.build())
+        assert program.guard_min_trip == 12
+        assert program.steady is not None
+
+    def test_compile_time_trip_has_no_guard(self):
+        program = program_for(figure1_loop(trip=100))
+        assert program.guard_min_trip is None
+
+
+class TestProgramIntrospection:
+    def test_pointer_count_counts_distinct_arrays(self):
+        program = program_for(figure1_loop(trip=100))
+        assert program.pointer_count() == 3
+
+    def test_static_shift_count_matches_policy(self):
+        result = simdize(figure1_loop(), options=SimdOptions(policy="zero", reuse="none", cse=False, memnorm=False))
+        # 3 stream shifts, one vshiftpair each in the steady body; the
+        # prologue/epilogue re-instantiate them.
+        assert result.program.static_shift_count() >= 3
+
+    def test_b_and_d_properties(self):
+        program = program_for(figure1_loop(trip=100))
+        assert program.D == 4
+        assert program.B == 4

@@ -1,0 +1,137 @@
+"""The central correctness property: simdized == scalar, byte-for-byte.
+
+This reproduces the paper's Section 5.4 verification methodology as a
+property-based test: hypothesis draws loop shapes, alignments, trip
+counts, policies, and optimization combinations; every draw must
+execute identically to the scalar reference on the virtual machine.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.synth import SynthParams, synthesize
+from repro.errors import PolicyError
+from repro.ir import INT8, INT16, INT32, LoopBuilder
+from repro.simdize import SimdOptions, simdize
+
+from conftest import check_loop
+
+
+@st.composite
+def loop_and_options(draw):
+    dtype = draw(st.sampled_from([INT8, INT16, INT32]))
+    runtime_alignment = draw(st.booleans())
+    runtime_trip = draw(st.booleans())
+    params = SynthParams(
+        loads=draw(st.integers(1, 5)),
+        statements=draw(st.integers(1, 3)),
+        trip=draw(st.integers(13, 90)),
+        bias=draw(st.floats(0, 1)),
+        reuse=draw(st.floats(0, 1)),
+        dtype=dtype,
+        runtime_alignment=runtime_alignment,
+        runtime_trip=runtime_trip,
+    )
+    syn = synthesize(params, seed=draw(st.integers(0, 2**20)))
+    policy = "zero" if runtime_alignment else draw(
+        st.sampled_from(["zero", "eager", "lazy", "dominant", "auto"])
+    )
+    options = SimdOptions(
+        policy=policy,
+        reuse=draw(st.sampled_from(["none", "sp", "pc", "sp+pc"])),
+        memnorm=draw(st.booleans()),
+        cse=draw(st.booleans()),
+        offset_reassoc=draw(st.booleans()),
+        unroll=draw(st.sampled_from([1, 2, 3, 4])),
+        bounds_scheme=draw(st.sampled_from(["auto", "general"])),
+    )
+    return syn, options
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(loop_and_options())
+def test_simdized_execution_matches_scalar(case):
+    syn, options = case
+    check_loop(
+        syn.loop,
+        options,
+        trip=syn.params.trip if syn.params.runtime_trip else None,
+        residues=syn.base_residues,
+        seed=syn.seed,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**20), st.sampled_from([INT16, INT32]))
+def test_eight_byte_vectors(seed, dtype):
+    """The machinery is parametric in V; V=8 must work identically."""
+    params = SynthParams(loads=3, statements=2, trip=40, bias=0.4,
+                         reuse=0.4, dtype=dtype)
+    syn = synthesize(params, seed=seed, V=8)
+    check_loop(syn.loop, SimdOptions(reuse="sp", unroll=2), V=8,
+               residues=syn.base_residues, seed=seed)
+
+
+class TestDriverBehaviour:
+    def test_auto_policy_picks_dominant_when_static(self):
+        params = SynthParams(loads=3, trip=40)
+        syn = synthesize(params, seed=1)
+        result = simdize(syn.loop)
+        assert result.policy == "dominant"
+
+    def test_auto_policy_falls_back_to_zero_at_runtime(self):
+        params = SynthParams(loads=3, trip=40, runtime_alignment=True)
+        syn = synthesize(params, seed=1)
+        result = simdize(syn.loop)
+        assert result.policy == "zero"
+
+    def test_explicit_policy_with_runtime_alignment_rejected(self):
+        params = SynthParams(loads=3, trip=40, runtime_alignment=True)
+        syn = synthesize(params, seed=1)
+        with pytest.raises(PolicyError):
+            simdize(syn.loop, options=SimdOptions(policy="dominant"))
+
+    def test_result_carries_graph_and_stats(self):
+        from repro.ir import figure1_loop
+
+        result = simdize(figure1_loop())
+        assert result.shift_count == 2
+        assert result.graph.loop is result.program.source
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(PolicyError):
+            SimdOptions(policy="quantum")
+        with pytest.raises(PolicyError):
+            SimdOptions(reuse="telepathy")
+        with pytest.raises(PolicyError):
+            SimdOptions(unroll=0)
+        with pytest.raises(PolicyError):
+            SimdOptions(bounds_scheme="vibes")
+
+    def test_trip_just_above_guard(self):
+        # smallest vectorizable trip: 3B + 1 = 13
+        lb = LoopBuilder(trip=13)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[3], b[1])
+        check_loop(lb.build(), SimdOptions(reuse="sp", unroll=2))
+
+    def test_scalar_only_rhs(self):
+        lb = LoopBuilder(trip=40)
+        a = lb.array("a", "int32", 64)
+        lb.assign(a[3], 42)
+        check_loop(lb.build())
+
+    def test_negative_constant_offsets(self):
+        # references may use negative element offsets when in bounds
+        from repro.ir.expr import Loop, Ref, Statement, ArrayDecl
+
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT32, 64)
+        from repro.ir.expr import BinOp
+        from repro.ir.types import ADD
+
+        stmt = Statement(Ref(a, 5), BinOp(ADD, Ref(b, 3), Ref(b, 1)))
+        loop = Loop(upper=40, statements=[stmt])
+        check_loop(loop, SimdOptions(reuse="sp"))

@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for cls in (errors.IRError, errors.FrontendError, errors.AlignmentError,
+                errors.GraphError, errors.PolicyError, errors.CodegenError,
+                errors.MachineError, errors.VerificationError, errors.BenchError):
+        assert issubclass(cls, errors.SimdalError)
+    for cls in (errors.LexError, errors.ParseError, errors.SemanticError):
+        assert issubclass(cls, errors.FrontendError)
+
+
+def test_frontend_errors_carry_location():
+    err = errors.ParseError("boom", line=3, col=7)
+    assert err.line == 3 and err.col == 7
+    assert str(err).startswith("3:7:")
+    err2 = errors.SemanticError("boom", line=2)
+    assert str(err2).startswith("2:?:")
+    err3 = errors.LexError("boom")
+    assert str(err3) == "boom"
+
+
+def test_single_catch_point():
+    from repro.lang import compile_source
+
+    with pytest.raises(errors.SimdalError):
+        compile_source("not a program")

@@ -1,0 +1,136 @@
+"""Tests for the C exporters and compiled cross-validation."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.export import (
+    AltivecBackend,
+    CEmitter,
+    SseBackend,
+    cross_validate,
+    export_c,
+    find_compiler,
+)
+from repro.ir import LoopBuilder, figure1_loop
+from repro.simdize import SimdOptions, simdize
+
+HAVE_CC = find_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+
+
+def program(loop=None, **kwargs):
+    return simdize(loop or figure1_loop(), options=SimdOptions(**kwargs)).program
+
+
+class TestEmission:
+    def test_sse_structure(self):
+        src = export_c(program(policy="zero", reuse="sp"), "sse")
+        assert "void figure1_scalar(" in src
+        assert "void figure1_simd(" in src
+        assert "_mm_load_si128" in src
+        assert "_mm_alignr_epi8" in src
+        assert "SIMDAL_TRUNC" in src
+        assert src.count("{") == src.count("}")
+
+    def test_altivec_structure(self):
+        src = export_c(program(policy="zero", reuse="sp"), "altivec")
+        assert "#include <altivec.h>" in src
+        assert "vec_ld(" in src and "vec_st(" in src
+        assert "vec_sld(" in src
+        assert src.count("{") == src.count("}")
+
+    def test_runtime_alignment_emits_helpers(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 256, align=None)
+        b = lb.array("b", "int32", 256, align=None)
+        lb.assign(a[0], b[1])
+        src = export_c(program(lb.build(), policy="zero", reuse="sp"), "sse")
+        assert "simdal_shiftpair_rt" in src
+        assert "int64_t n" in src           # runtime bound parameter
+        assert "figure" not in src
+
+    def test_guard_calls_scalar(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 256)
+        b = lb.array("b", "int32", 256)
+        lb.assign(a[1], b[2])
+        src = export_c(program(lb.build()), "sse")
+        assert "_scalar(" in src and "return;" in src
+
+    def test_splat_and_iota_emission(self):
+        lb = LoopBuilder(trip=40)
+        a = lb.array("a", "int16", 64)
+        b = lb.array("b", "int16", 64)
+        lb.assign(a[1], b[0] * 3 + lb.index_value())
+        src = export_c(program(lb.build()), "sse")
+        assert "_mm_set1_epi16" in src
+        assert "_mm_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7)" in src
+
+    def test_identifier_sanitization(self):
+        from repro.export.cgen import c_ident
+
+        assert c_ident("S1*L2_seed5") == "S1_L2_seed5"
+        assert c_ident("vnew0.u1") == "vnew0_u1"
+        assert c_ident("9lives") == "_9lives"
+
+    def test_unsupported_ops_rejected(self):
+        lb = LoopBuilder(trip=100)  # above the uint8 guard of 3B = 48
+        a = lb.array("a", "uint8", 128)
+        b = lb.array("b", "uint8", 128)
+        lb.assign(a[1], b[0].avg(b[1]))
+        with pytest.raises(CodegenError, match="avg"):
+            export_c(program(lb.build()), "sse")
+
+
+@needs_cc
+class TestCompiledCrossValidation:
+    def test_figure1_all_policies(self):
+        loop = figure1_loop(trip=100)
+        for policy in ("zero", "eager", "lazy", "dominant"):
+            report = cross_validate(loop, SimdOptions(policy=policy, reuse="sp",
+                                                      unroll=2))
+            assert report.passed
+
+    def test_runtime_everything(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int16", 300, align=None)
+        b = lb.array("b", "int16", 300, align=None)
+        c = lb.array("c", "int16", 300, align=None)
+        lb.assign(a[1], b[3] + c[2])
+        for trip in (5, 40, 255):
+            report = cross_validate(lb.build(), SimdOptions(policy="zero", reuse="sp"),
+                                    trip=trip, seed=trip)
+            assert report.passed
+
+    def test_scalars_and_unroll(self):
+        lb = LoopBuilder(trip=120)
+        a = lb.array("a", "int32", 140)
+        b = lb.array("b", "int32", 140)
+        alpha = lb.scalar("alpha")
+        lb.assign(a[3], b[1] * alpha + 7)
+        report = cross_validate(lb.build(), SimdOptions(reuse="pc", unroll=4),
+                                scalars={"alpha": -3})
+        assert report.passed
+
+    def test_reduction_export(self):
+        lb = LoopBuilder(trip=100)
+        out = lb.array("out", "int32", 8)
+        b = lb.array("b", "int32", 128)
+        c = lb.array("c", "int32", 128)
+        lb.reduce(out, 1, "add", b[1] * c[2])
+        report = cross_validate(lb.build(), SimdOptions(reuse="sp", unroll=2))
+        assert report.passed
+
+    def test_minmax_reduction_export(self):
+        lb = LoopBuilder(trip=77)
+        out = lb.array("out", "int16", 8)
+        b = lb.array("b", "int16", 96)
+        lb.reduce(out, 0, "max", b[3])
+        assert cross_validate(lb.build(), SimdOptions()).passed
+
+    def test_int8_lanes(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int8", 128, align=5)
+        b = lb.array("b", "int8", 128, align=11)
+        lb.assign(a[2], b[7] + 1)
+        assert cross_validate(lb.build(), SimdOptions(reuse="sp")).passed

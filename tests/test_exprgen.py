@@ -1,0 +1,139 @@
+"""Tests for expression codegen: shift plans, operand pairs, splats."""
+
+import pytest
+
+from repro.align import KnownOffset, RuntimeOffset
+from repro.codegen import CodegenCtx, gen_expr, plan_shift
+from repro.errors import CodegenError
+from repro.ir import ArrayDecl, Const, INT32, Ref, ScalarVar, figure1_loop
+from repro.reorg import RLoad, RShiftStream, RSplat, build_loop_graph
+from repro.vir import SConst, SReg, VLoadE, VShiftPairE, VSplatE
+from repro.vir.vexpr import SBin
+
+
+def ctx_for(loop=None):
+    return CodegenCtx(loop or figure1_loop(), 16)
+
+
+def load_with_offset(byte_offset: int, runtime: bool = False) -> RLoad:
+    align = None if runtime else 0
+    arr = ArrayDecl("arr", INT32, 64, align=align)
+    assert byte_offset % 4 == 0
+    return RLoad(Ref(arr, byte_offset // 4))
+
+
+class TestPlanShift:
+    def test_no_op_for_equal_offsets(self):
+        node = RShiftStream(load_with_offset(4), KnownOffset(4))
+        assert plan_shift(ctx_for(), node, residue=0) is None
+
+    def test_left_shift_residue_zero(self):
+        # From 4 to 0 at residue 0: current/next pair, amount 4
+        node = RShiftStream(load_with_offset(4), KnownOffset(0))
+        plan = plan_shift(ctx_for(), node, residue=0)
+        assert (plan.k0, plan.amount) == (0, 4)
+
+    def test_right_shift_residue_zero(self):
+        # From 0 to 12 at residue 0: previous/current pair, amount 4
+        node = RShiftStream(load_with_offset(0), KnownOffset(12))
+        plan = plan_shift(ctx_for(), node, residue=0)
+        assert (plan.k0, plan.amount) == (-1, 4)
+
+    def test_right_shift_nonzero_residue_uses_next_pair(self):
+        # The Figure 4 store stream: from 0 to 12 with the steady loop
+        # at LB=1 (residue 1): the *current/next* registers are needed.
+        node = RShiftStream(load_with_offset(0), KnownOffset(12))
+        plan = plan_shift(ctx_for(), node, residue=1)
+        assert (plan.k0, plan.amount) == (0, 4)
+
+    def test_left_shift_nonzero_residue(self):
+        node = RShiftStream(load_with_offset(12), KnownOffset(0))
+        plan = plan_shift(ctx_for(), node, residue=1)
+        # rho=4: r=(12+4)%16=0 < delta=12 -> k0=-1
+        assert (plan.k0, plan.amount) == (-1, 12)
+
+    def test_runtime_load_shift_left(self):
+        node = RShiftStream(load_with_offset(4, runtime=True), KnownOffset(0))
+        ctx = ctx_for()
+        plan = plan_shift(ctx, node, residue=0)
+        assert plan.k0 == 0
+        assert isinstance(plan.amount, SReg)
+        # hoisted into the preheader exactly once
+        assert len(ctx.preheader) == 1
+        plan_shift(ctx, node, residue=0)
+        assert len(ctx.preheader) == 1
+
+    def test_runtime_store_shift_right(self):
+        node = RShiftStream(load_with_offset(0), RuntimeOffset("arr", 1))
+        ctx = ctx_for()
+        plan = plan_shift(ctx, node, residue=0)
+        assert plan.k0 == -1
+        assert isinstance(plan.amount, SReg)
+
+    def test_runtime_shift_requires_residue_zero(self):
+        node = RShiftStream(load_with_offset(4, runtime=True), KnownOffset(0))
+        with pytest.raises(CodegenError, match="residue"):
+            plan_shift(ctx_for(), node, residue=1)
+
+    def test_runtime_to_runtime_rejected(self):
+        node = RShiftStream(load_with_offset(4, runtime=True), RuntimeOffset("x", 0))
+        with pytest.raises(CodegenError, match="zero-shift"):
+            plan_shift(ctx_for(), node, residue=0)
+
+
+class TestGenExpr:
+    def test_load_displacement(self):
+        node = load_with_offset(8)
+        expr = gen_expr(ctx_for(), node, disp=4)
+        assert isinstance(expr, VLoadE)
+        assert expr.addr.elem == 2 + 4
+
+    def test_shift_generates_adjacent_pair(self):
+        node = RShiftStream(load_with_offset(4), KnownOffset(0))
+        expr = gen_expr(ctx_for(), node, disp=0, residue=0)
+        assert isinstance(expr, VShiftPairE)
+        assert expr.a.addr.elem == 1
+        assert expr.b.addr.elem == 1 + 4
+        assert expr.shift == 4
+
+    def test_degenerate_shift_elided(self):
+        node = RShiftStream(load_with_offset(4), KnownOffset(4))
+        expr = gen_expr(ctx_for(), node, disp=0, residue=0)
+        assert isinstance(expr, VLoadE)
+
+    def test_splat_const_wraps_to_type(self):
+        expr = gen_expr(ctx_for(), RSplat(Const(2**33 + 5)))
+        assert isinstance(expr, VSplatE)
+        assert expr.operand == SConst(5)
+
+    def test_splat_scalar_var(self):
+        lb_loop = figure1_loop()
+        expr = gen_expr(ctx_for(lb_loop), RSplat(ScalarVar("alpha")))
+        assert isinstance(expr, VSplatE)
+        assert str(expr.operand) == "alpha"
+
+    def test_graph_lowering_structure(self):
+        from repro.reorg import apply_policy
+
+        graph = apply_policy(build_loop_graph(figure1_loop(), 16), "zero")
+        ctx = CodegenCtx(figure1_loop(), 16)
+        expr = gen_expr(ctx, graph.statements[0].store.src, 0, residue=0)
+        # zero policy: vshiftpair(add(shift(b), shift(c)))-shaped tree
+        assert isinstance(expr, VShiftPairE)  # the store-side shift
+
+
+class TestCtx:
+    def test_fresh_names_unique(self):
+        ctx = ctx_for()
+        names = {ctx.fresh("v") for _ in range(10)}
+        assert len(names) == 10
+
+    def test_offset_sexpr_known(self):
+        assert ctx_for().offset_sexpr(KnownOffset(8)) == SConst(8)
+
+    def test_offset_sexpr_runtime_is_masked_base(self):
+        ctx = ctx_for()
+        reg = ctx.offset_sexpr(RuntimeOffset("b", 1))
+        assert isinstance(reg, SReg)
+        stmt = ctx.preheader[0]
+        assert isinstance(stmt.expr, SBin) and stmt.expr.op == "and"

@@ -1,0 +1,140 @@
+"""Tests for the vector-program interpreter and its op accounting."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir import LoopBuilder, figure1_loop
+from repro.machine import ArraySpace, RunBindings, run_vector
+from repro.machine.counters import OpCounters
+from repro.simdize import SimdOptions, simdize
+
+from conftest import sequential_memory
+
+
+class TestCounters:
+    def test_categories_validated(self):
+        counters = OpCounters()
+        counters.bump("vload")
+        counters.bump("vperm", 3)
+        assert counters["vload"] == 1
+        assert counters["vperm"] == 3
+        assert counters.total == 4
+        with pytest.raises(KeyError):
+            counters.bump("teleport")
+
+    def test_aggregates(self):
+        counters = OpCounters()
+        for cat, n in (("vload", 2), ("vstore", 1), ("vperm", 4), ("vsel", 1),
+                       ("varith", 5), ("scalar", 7)):
+            counters.bump(cat, n)
+        assert counters.vector_total == 13
+        assert counters.reorg_total == 5
+        assert counters.memory_total == 3
+        other = OpCounters()
+        other.bump("vload", 8)
+        counters.merge(other)
+        assert counters["vload"] == 10
+        assert "vload=10" in str(counters)
+
+
+class TestExecution:
+    def test_figure1_exact_values(self):
+        loop = figure1_loop(trip=20, length=48)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        run_vector(result.program, space, mem)
+        a = space["a"].read_all(mem)
+        assert a[:3] == [0, 1, 2]                 # prologue preserved
+        assert a[3:23] == [2 * i + 3 for i in range(20)]
+        assert a[23:] == list(range(23, 48))      # epilogue preserved
+
+    def test_guard_fallback_counts_scalar_ops(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 128)
+        b = lb.array("b", "int32", 128)
+        lb.assign(a[1], b[2])
+        result = simdize(lb.build())
+        space, mem = sequential_memory(result.program.source)
+        out = run_vector(result.program, space, mem, RunBindings(trip=5))
+        assert out.used_fallback
+        assert out.counters["sload"] == 5
+        assert out.counters["sstore"] == 5
+        # and the memory matches the scalar semantics
+        assert space["a"].read_all(mem)[1:6] == [2, 3, 4, 5, 6]
+
+    def test_runtime_trip_above_guard_runs_vector_path(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 128)
+        b = lb.array("b", "int32", 128)
+        lb.assign(a[1], b[2])
+        result = simdize(lb.build())
+        space, mem = sequential_memory(result.program.source)
+        out = run_vector(result.program, space, mem, RunBindings(trip=50))
+        assert not out.used_fallback
+        assert out.counters["vstore"] > 0
+        assert space["a"].read_all(mem)[1:51] == list(range(2, 52))
+
+    def test_call_overhead_charged_once(self):
+        loop = figure1_loop(trip=20, length=48)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        out = run_vector(result.program, space, mem)
+        assert out.counters["call"] == 2
+
+    def test_branch_and_pointer_overhead_scale_with_iterations(self):
+        loop = figure1_loop(trip=100)
+        result = simdize(loop, options=SimdOptions(reuse="sp", unroll=1))
+        space, mem = sequential_memory(loop)
+        out = run_vector(result.program, space, mem)
+        steady_iters = len(range(1, 97, 4))
+        assert out.counters["branch"] == steady_iters
+        # 3 arrays -> 3 induction pointers per iteration
+        assert out.counters["scalar"] >= 3 * steady_iters
+
+    def test_unrolled_program_charges_fewer_branches(self):
+        loop = figure1_loop(trip=100)
+        space, mem = sequential_memory(loop)
+        r1 = simdize(loop, options=SimdOptions(reuse="sp", unroll=1))
+        r4 = simdize(loop, options=SimdOptions(reuse="sp", unroll=4))
+        space2, mem2 = sequential_memory(loop)
+        out1 = run_vector(r1.program, space, mem)
+        out4 = run_vector(r4.program, space2, mem2)
+        assert out4.counters["branch"] < out1.counters["branch"]
+        assert mem.snapshot() == mem2.snapshot()
+
+    def test_trip_mismatch_detected(self):
+        loop = figure1_loop(trip=20, length=48)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError):
+            run_vector(result.program, space, mem, RunBindings(trip=21))
+
+
+class TestInterpreterErrors:
+    def test_unset_vector_register_read(self):
+        from repro.vir import VProgram, SteadyLoop, SConst, VRegE
+        from repro.vir.vstmt import SetV
+
+        loop = figure1_loop(trip=20, length=48)
+        program = VProgram(source=loop, V=16)
+        program.steady = SteadyLoop(
+            lb=SConst(0), ub=SConst(4), step=4,
+            body=[SetV("x", VRegE("never_set"))],
+        )
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError, match="never_set"):
+            run_vector(program, space, mem)
+
+    def test_unset_scalar_register_read(self):
+        from repro.vir import VProgram, SteadyLoop, SConst, SReg
+        from repro.vir.vstmt import SetS
+
+        loop = figure1_loop(trip=20, length=48)
+        program = VProgram(source=loop, V=16)
+        program.steady = SteadyLoop(
+            lb=SConst(0), ub=SConst(4), step=4,
+            body=[SetS("x", SReg("ghost"))],
+        )
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError, match="ghost"):
+            run_vector(program, space, mem)

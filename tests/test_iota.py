@@ -1,0 +1,109 @@
+"""Tests for loop-counter-as-value vectorization (iota extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import KnownOffset
+from repro.ir import INT8, INT16, INT32, LoopBuilder, LoopIndex
+from repro.lang import compile_source
+from repro.machine import run_vector
+from repro.reorg import RIota, build_loop_graph
+from repro.simdize import SimdOptions, simdize
+from repro.vir import VIotaE, displace
+
+from conftest import check_loop, sequential_memory
+
+
+def iota_loop(trip=40, dtype="int32", offset=1, length=None):
+    lb = LoopBuilder(trip=trip)
+    a = lb.array("a", dtype, length or trip + 16)
+    lb.assign(a[offset], lb.index_value())
+    return lb.build()
+
+
+class TestIotaNodes:
+    def test_builder_and_ir(self):
+        loop = iota_loop()
+        assert any(isinstance(n, LoopIndex) for n in loop.statements[0].expr.walk())
+        assert str(loop.statements[0]) == "a[i+1] = i;"
+
+    def test_graph_node_offset_is_zero(self):
+        graph = build_loop_graph(iota_loop(), 16)
+        iotas = [n for n in graph.statements[0].store.walk() if isinstance(n, RIota)]
+        assert len(iotas) == 1
+        assert iotas[0].offset(16) == KnownOffset(0)
+
+    def test_viota_displacement(self):
+        expr = VIotaE(0, INT32)
+        assert displace(expr, 4) == VIotaE(4, INT32)
+        assert displace(expr, -4) == VIotaE(-4, INT32)
+
+    def test_mini_c_counter_value(self):
+        loop = compile_source(
+            "int a[64]; for (i = 0; i < 40; i++) { a[i+1] = i * 2; }")
+        assert any(isinstance(n, LoopIndex) for n in loop.statements[0].expr.walk())
+
+
+class TestIotaExecution:
+    def test_exact_values(self):
+        loop = iota_loop(trip=20, length=48)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        run_vector(result.program, space, mem)
+        a = space["a"].read_all(mem)
+        assert a[1:21] == list(range(20))
+        assert a[0] == 0 and a[21] == 21  # boundaries preserved
+
+    def test_int8_wraps(self):
+        loop = iota_loop(trip=300, dtype="int8")
+        result = simdize(loop, options=SimdOptions(reuse="sp"))
+        space, mem = sequential_memory(loop)
+        run_vector(result.program, space, mem)
+        a = space["a"].read_all(mem)
+        assert a[1 + 200] == INT8.wrap(200)
+
+    @pytest.mark.parametrize("policy", ["zero", "eager", "lazy", "dominant"])
+    def test_all_policies(self, policy):
+        lb = LoopBuilder(trip=50)
+        a = lb.array("a", "int32", 80)
+        b = lb.array("b", "int32", 80)
+        lb.assign(a[3], b[1] + lb.index_value())
+        check_loop(lb.build(), SimdOptions(policy=policy, reuse="sp"))
+
+    def test_iota_shifted_by_misaligned_store(self):
+        # store offset 12 forces a shift of the iota stream itself
+        loop = iota_loop(offset=3)
+        result = simdize(loop, options=SimdOptions(policy="eager", reuse="none",
+                                                   cse=False, memnorm=False))
+        assert result.shift_count == 1
+        check_loop(loop, SimdOptions(policy="eager"))
+
+    def test_runtime_trip_and_alignment(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int16", 300, align=None)
+        lb.assign(a[2], lb.index_value() * 3 + 1)
+        for trip in (4, 13, 100, 255):
+            check_loop(lb.build(), SimdOptions(policy="zero", reuse="pc", unroll=2),
+                       trip=trip, seed=trip)
+
+    def test_iota_participates_in_pc_chains(self):
+        # i*splat used under a shift: PC must carry it like a load stream
+        lb = LoopBuilder(trip=60)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        lb.assign(a[1], b[2] + lb.index_value())
+        result = simdize(lb.build(), options=SimdOptions(policy="zero", reuse="pc"))
+        check_loop(lb.build(), SimdOptions(policy="zero", reuse="pc"))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([INT8, INT16, INT32]),
+           st.integers(13, 80), st.sampled_from([1, 2, 4]),
+           st.sampled_from(["none", "sp", "pc"]))
+    def test_iota_property(self, seed, dtype, trip, unroll, reuse):
+        lb = LoopBuilder(trip=trip)
+        a = lb.array("a", dtype.name, trip + 24,
+                     align=(seed % 4) * dtype.size)
+        b = lb.array("b", dtype.name, trip + 24)
+        lb.assign(a[seed % 6], b[(seed // 7) % 6] * lb.index_value()
+                  + lb.index_value())
+        check_loop(lb.build(), SimdOptions(reuse=reuse, unroll=unroll), seed=seed)

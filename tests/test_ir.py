@@ -1,0 +1,159 @@
+"""Tests for the scalar loop IR and its builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    ArrayDecl,
+    Const,
+    INT16,
+    INT32,
+    LoopBuilder,
+    Loop,
+    Ref,
+    ScalarVar,
+    Statement,
+    figure1_loop,
+)
+from repro.ir.types import ADD
+
+
+class TestArrayDecl:
+    def test_natural_alignment_enforced(self):
+        ArrayDecl("a", INT32, 10, align=4)
+        with pytest.raises(IRError):
+            ArrayDecl("a", INT32, 10, align=2)
+        with pytest.raises(IRError):
+            ArrayDecl("a", INT16, 10, align=5)
+
+    def test_runtime_alignment(self):
+        decl = ArrayDecl("a", INT32, 10, align=None)
+        assert decl.runtime_aligned
+
+    def test_bad_decls(self):
+        with pytest.raises(IRError):
+            ArrayDecl("not an ident!", INT32, 10)
+        with pytest.raises(IRError):
+            ArrayDecl("a", INT32, 0)
+        with pytest.raises(IRError):
+            ArrayDecl("a", INT32, 10, align=-4)
+
+
+class TestBuilder:
+    def test_figure1(self):
+        loop = figure1_loop()
+        assert loop.upper == 100
+        assert len(loop.statements) == 1
+        assert str(loop.statements[0]) == "a[i+3] = (b[i+1] + c[i+2]);"
+        assert loop.dtype is INT32
+        assert [a.name for a in loop.arrays()] == ["a", "b", "c"]
+
+    def test_operator_overloads(self):
+        lb = LoopBuilder(trip=50)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        alpha = lb.scalar("alpha")
+        lb.assign(a[0], (b[1] * alpha + 3).min(b[2]))
+        loop = lb.build()
+        stmt = loop.statements[0]
+        assert "min" in str(stmt)
+        assert any(isinstance(n, ScalarVar) for n in stmt.expr.walk())
+        assert any(isinstance(n, Const) and n.value == 3 for n in stmt.expr.walk())
+
+    def test_reflected_operators(self):
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32)
+        lb.assign(a[0], 5 + b[0])
+        lb2 = lb.build()
+        assert "5" in str(lb2.statements[0])
+
+    def test_non_ref_target_rejected(self):
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        with pytest.raises(IRError):
+            lb.assign(a[0] + a[1], a[2])
+
+    def test_non_constant_index_rejected(self):
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        with pytest.raises(IRError):
+            a["i"]
+
+    def test_duplicate_declarations_rejected(self):
+        lb = LoopBuilder(trip=10)
+        lb.array("a", "int32", 32)
+        with pytest.raises(IRError):
+            lb.array("a", "int32", 32)
+        lb.scalar("x")
+        with pytest.raises(IRError):
+            lb.scalar("x")
+
+
+class TestLoopValidation:
+    def _stmt(self, target_arr, expr_arr, off=0):
+        return Statement(Ref(target_arr, off), Ref(expr_arr, 0))
+
+    def test_store_load_overlap_rejected(self):
+        a = ArrayDecl("a", INT32, 64)
+        with pytest.raises(IRError, match="loop-carried"):
+            Loop(upper=10, statements=[Statement(Ref(a, 1), Ref(a, 0))])
+
+    def test_double_store_rejected(self):
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT32, 64)
+        stmts = [self._stmt(a, b), self._stmt(a, b, off=1)]
+        with pytest.raises(IRError, match="stored by two"):
+            Loop(upper=10, statements=stmts)
+
+    def test_mixed_types_rejected(self):
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT16, 64)
+        with pytest.raises(IRError, match="mixed element types"):
+            Loop(upper=10, statements=[self._stmt(a, b)])
+
+    def test_out_of_bounds_rejected(self):
+        a = ArrayDecl("a", INT32, 8)
+        b = ArrayDecl("b", INT32, 64)
+        with pytest.raises(IRError, match="outside"):
+            Loop(upper=10, statements=[self._stmt(a, b)])
+        with pytest.raises(IRError, match="outside"):
+            Loop(upper=10, statements=[Statement(Ref(b, 0), Ref(a, -1))])
+
+    def test_undeclared_scalar_rejected(self):
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT32, 64)
+        from repro.ir.expr import BinOp
+
+        stmt = Statement(Ref(a, 0), BinOp(ADD, Ref(b, 0), ScalarVar("mystery")))
+        with pytest.raises(IRError, match="undeclared"):
+            Loop(upper=10, statements=[stmt])
+        Loop(upper=10, statements=[stmt], scalar_vars=("mystery",))
+
+    def test_empty_and_nonpositive(self):
+        with pytest.raises(IRError):
+            Loop(upper=10, statements=[])
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT32, 64)
+        with pytest.raises(IRError):
+            Loop(upper=0, statements=[self._stmt(a, b)])
+
+    def test_runtime_upper_symbol(self):
+        a = ArrayDecl("a", INT32, 64)
+        b = ArrayDecl("b", INT32, 64)
+        loop = Loop(upper="n", statements=[self._stmt(a, b)])
+        assert loop.runtime_upper
+        with pytest.raises(IRError):
+            Loop(upper="not an ident!", statements=[self._stmt(a, b)])
+
+    def test_introspection_helpers(self):
+        loop = figure1_loop()
+        assert loop.store_arrays() == {"a"}
+        assert loop.load_arrays() == {"b", "c"}
+        assert not loop.runtime_alignment()
+        assert loop.min_index() == 1
+        assert loop.max_index_excl(100) == 103
+        stmt = loop.statements[0]
+        assert len(stmt.loads()) == 2
+        assert len(stmt.refs()) == 3
+        assert stmt.invariants() == []

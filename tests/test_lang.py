@@ -1,0 +1,186 @@
+"""Tests for the mini-C frontend: lexer, parser, semantic analysis."""
+
+import pytest
+
+from repro.errors import LexError, ParseError, SemanticError
+from repro.ir import INT16, INT32, UINT8
+from repro.lang import compile_source, simdize_source, tokenize
+from repro.lang.parser import parse
+
+FIG1 = """
+int a[128];
+int b[128];
+int c[128];
+for (i = 0; i < 100; i++) {
+    a[i + 3] = b[i + 1] + c[i + 2];
+}
+"""
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("for (i = 0; i < n; i++) { a[i] = 1; }")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "keyword"
+        assert "++" in [t.text for t in toks]
+        assert kinds[-1] == "eof"
+
+    def test_comments_skipped(self):
+        toks = tokenize("int a; // line comment\n/* block\ncomment */ int b;")
+        idents = [t.text for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers(self):
+        toks = tokenize("int a;\nint b;")
+        b_tok = [t for t in toks if t.text == "b"][0]
+        assert b_tok.line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int a @ b;")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestParser:
+    def test_figure1_parses(self):
+        ast = parse(FIG1)
+        assert len(ast.arrays) == 3
+        assert ast.loop.bound == 100
+        assert len(ast.loop.body) == 1
+
+    def test_alignment_attributes(self):
+        ast = parse("int a[64] align 8; int b[64] align ?; "
+                    "for (i = 0; i < 10; i++) { a[i] = b[i]; }")
+        assert ast.arrays[0].align == 8
+        assert ast.arrays[1].align is None
+
+    def test_typedef_style_types(self):
+        ast = parse("int16_t a[64]; uint8_t b[64]; int n;"
+                    "for (i = 0; i < n; i++) { a[i] = a[i+1] & 3; }")
+        assert ast.arrays[0].type_name == "int16"
+        assert ast.arrays[1].type_name == "uint8"
+
+    def test_unsigned_types(self):
+        ast = parse("unsigned short a[64]; "
+                    "for (i = 0; i < 10; i++) { a[i] = 1; }")
+        assert ast.arrays[0].type_name == "unsigned short"
+
+    def test_plus_equals_one_step(self):
+        parse("int a[64]; for (i = 0; i += 1 ; ) { a[i] = 1; }") if False else None
+        ast = parse("int a[64]; for (i = 0; i < 10; i += 1) { a[i] = 1; }")
+        assert ast.loop.bound == 10
+
+    @pytest.mark.parametrize("src,msg", [
+        ("int a[8]; for (i = 1; i < 4; i++) { a[i] = 1; }", "normalized"),
+        ("int a[8]; for (i = 0; i < 4; i += 2) { a[i] = 1; }", "stride-one"),
+        ("int a[8]; for (i = 0; i < 4; j++) { a[i] = 1; }", "loop variable"),
+        ("int a[8]; for (i = 0; j < 4; i++) { a[i] = 1; }", "loop variable"),
+        ("int a[8]; for (i = 0; i < 4; i++) { }", "empty"),
+        ("int a[8]; for (i = 0; i < 4; i++) { a[2*i] = 1; }", "stride-one"),
+        ("int a[8]; for (i = 0; i < 4; i++) { a[i] = 1; } extra", "trailing"),
+        ("int a[8]; for (i = 0; i < 4.5; i++) { a[i] = 1; }", "unexpected character"),
+    ])
+    def test_parse_errors(self, src, msg):
+        with pytest.raises((ParseError, LexError), match=msg):
+            parse(src)
+
+    def test_operator_precedence(self):
+        loop = compile_source(
+            "int a[64]; int b[64]; int c[64]; int d[64];"
+            "for (i = 0; i < 10; i++) { a[i] = b[i] + c[i] * d[i]; }"
+        )
+        # mul binds tighter: add(b, mul(c, d))
+        expr = loop.statements[0].expr
+        assert expr.op.name == "add"
+        assert expr.right.op.name == "mul"
+
+    def test_parentheses_override(self):
+        loop = compile_source(
+            "int a[64]; int b[64]; int c[64]; int d[64];"
+            "for (i = 0; i < 10; i++) { a[i] = (b[i] + c[i]) * d[i]; }"
+        )
+        assert loop.statements[0].expr.op.name == "mul"
+
+    def test_min_max_avg_calls(self):
+        loop = compile_source(
+            "int a[64]; int b[64];"
+            "for (i = 0; i < 10; i++) { a[i] = min(b[i], max(b[i+1], 3)); }"
+        )
+        assert "min" in str(loop.statements[0])
+
+
+class TestSema:
+    def test_figure1_ir(self):
+        loop = compile_source(FIG1, name="fig1")
+        assert loop.name == "fig1"
+        assert loop.upper == 100
+        assert loop.dtype is INT32
+        assert str(loop.statements[0]) == "a[i+3] = (b[i+1] + c[i+2]);"
+
+    def test_types_resolved(self):
+        loop = compile_source(
+            "short a[64]; short b[64];"
+            "for (i = 0; i < 10; i++) { a[i] = b[i+1]; }"
+        )
+        assert loop.dtype is INT16
+        loop = compile_source(
+            "unsigned char a[64]; unsigned char b[64];"
+            "for (i = 0; i < 10; i++) { a[i] = b[i+1]; }"
+        )
+        assert loop.dtype is UINT8
+
+    def test_runtime_bound_must_be_declared(self):
+        with pytest.raises(SemanticError, match="declared scalar"):
+            compile_source("int a[64]; for (i = 0; i < n; i++) { a[i] = 1; }")
+
+    def test_runtime_bound_declared_ok(self):
+        loop = compile_source(
+            "int a[64]; int n; for (i = 0; i < n; i++) { a[i] = 1; }"
+        )
+        assert loop.upper == "n"
+
+    def test_loop_counter_as_value_is_an_extension(self):
+        # Section 4.1 forbids it; this reproduction vectorizes it (iota).
+        from repro.ir.expr import LoopIndex
+
+        loop = compile_source(
+            "int a[8]; for (i = 0; i < 4; i++) { a[i] = i; }")
+        assert any(isinstance(n, LoopIndex)
+                   for n in loop.statements[0].expr.walk())
+
+    @pytest.mark.parametrize("src,msg", [
+        ("int a[8]; short b[8]; for (i = 0; i < 4; i++) { a[i] = b[i]; }",
+         "mixed element types"),
+        ("int a[8] align 3; for (i = 0; i < 4; i++) { a[i] = 1; }", "naturally"),
+        ("int a[8]; for (i = 0; i < 4; i++) { a[i] = zz; }", "undeclared"),
+        ("int a[8]; for (i = 0; i < 4; i++) { zz[i] = 1; }", "not a declared array"),
+        ("int a[8]; int b[8]; for (i = 0; i < 4; i++) { a[i] = b; }",
+         "without a subscript"),
+        ("int a[8]; int a[8]; for (i = 0; i < 4; i++) { a[i] = 1; }", "twice"),
+        ("int a[8]; for (i = 0; i < 4; i++) { a[i+1] = a[i]; }", "loop-carried"),
+        ("int a[4]; int b[16]; for (i = 0; i < 9; i++) { a[i] = b[i]; }", "outside"),
+    ])
+    def test_semantic_errors(self, src, msg):
+        with pytest.raises(SemanticError, match=msg):
+            compile_source(src)
+
+
+class TestFrontendIntegration:
+    def test_simdize_source_end_to_end(self):
+        result = simdize_source(FIG1)
+        assert result.policy == "dominant"
+        from repro import run_and_verify
+
+        report = run_and_verify(result.program)
+        assert report.speedup > 1.0
+
+    def test_runtime_alignment_source(self):
+        result = simdize_source(
+            "int a[256] align ?; int b[256] align ?; int n;"
+            "for (i = 0; i < n; i++) { a[i] = b[i+1]; }"
+        )
+        assert result.policy == "zero"
+        assert result.program.guard_min_trip == 12

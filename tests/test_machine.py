@@ -1,0 +1,200 @@
+"""Tests for the virtual machine substrate: memory, arrays, vector ops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.ir import ArrayDecl, INT8, INT16, INT32, UINT8
+from repro.ir.types import ADD, MUL
+from repro.machine import (
+    ArraySpace,
+    GUARD_VECTORS,
+    Memory,
+    from_lanes,
+    lanes,
+    vbinop,
+    vshiftpair,
+    vsplat,
+    vsplice,
+)
+
+
+class TestMemory:
+    def test_read_write_roundtrip(self):
+        mem = Memory(256)
+        mem.write(10, b"hello")
+        assert mem.read(10, 5) == b"hello"
+
+    def test_fill_pattern(self):
+        mem = Memory(16, fill=0xAB)
+        assert mem.read(0, 16) == b"\xab" * 16
+
+    def test_vload_truncates_address(self):
+        mem = Memory(256)
+        mem.write(16, bytes(range(16)))
+        for addr in (16, 17, 23, 31):
+            assert mem.vload(addr, 16) == bytes(range(16))
+        assert mem.vload(32, 16) != bytes(range(16))
+
+    def test_vstore_truncates_address(self):
+        mem = Memory(256)
+        data = bytes(range(16))
+        mem.vstore(37, data, 16)
+        assert mem.read(32, 16) == data
+
+    def test_vstore_requires_full_vector(self):
+        mem = Memory(256)
+        with pytest.raises(MachineError):
+            mem.vstore(0, b"short", 16)
+
+    def test_bounds_checked(self):
+        mem = Memory(64)
+        with pytest.raises(MachineError):
+            mem.read(60, 8)
+        with pytest.raises(MachineError):
+            mem.write(-1, b"x")
+
+    def test_clone_is_independent(self):
+        mem = Memory(64)
+        copy = mem.clone()
+        mem.write(0, b"x")
+        assert copy.read(0, 1) != b"x"
+        assert len(mem.snapshot()) == 64
+
+
+class TestArraySpace:
+    def test_compile_time_residue_honoured(self):
+        for residue in (0, 4, 8, 12):
+            space = ArraySpace(16)
+            space.place(ArrayDecl("a", INT32, 10, align=residue))
+            assert space["a"].base % 16 == residue
+
+    def test_runtime_residue_honoured(self):
+        space = ArraySpace(16)
+        space.place(ArrayDecl("a", INT32, 10, align=None), runtime_residue=8)
+        assert space["a"].base % 16 == 8
+
+    def test_runtime_residue_only_for_runtime_arrays(self):
+        space = ArraySpace(16)
+        with pytest.raises(MachineError):
+            space.place(ArrayDecl("a", INT32, 10, align=0), runtime_residue=8)
+
+    def test_unnatural_runtime_residue_rejected(self):
+        space = ArraySpace(16)
+        with pytest.raises(MachineError):
+            space.place(ArrayDecl("a", INT32, 10, align=None), runtime_residue=2)
+
+    def test_guard_zone_between_arrays(self):
+        space = ArraySpace(16)
+        a = ArrayDecl("a", INT32, 10)
+        b = ArrayDecl("b", INT32, 10)
+        space.place_all([a, b])
+        gap = space["b"].base - (space["a"].base + space["a"].size_bytes)
+        assert gap >= GUARD_VECTORS * 16
+
+    def test_element_access(self):
+        space = ArraySpace(16)
+        space.place(ArrayDecl("a", INT16, 8))
+        mem = space.make_memory()
+        arr = space["a"]
+        arr.store(mem, 3, -7)
+        assert arr.load(mem, 3) == -7
+        arr.write_all(mem, range(8))
+        assert arr.read_all(mem) == list(range(8))
+        with pytest.raises(MachineError):
+            arr.load(mem, 8)
+        with pytest.raises(MachineError):
+            arr.write_all(mem, [1, 2])
+
+    def test_double_place_and_missing(self):
+        space = ArraySpace(16)
+        a = ArrayDecl("a", INT32, 4)
+        space.place(a)
+        with pytest.raises(MachineError):
+            space.place(a)
+        with pytest.raises(MachineError):
+            space["zzz"]
+        assert "a" in space and "zzz" not in space
+
+    def test_non_power_of_two_v_rejected(self):
+        with pytest.raises(MachineError):
+            ArraySpace(12)
+
+
+class TestVectorOps:
+    def test_vsplat(self):
+        assert vsplat(1, INT32, 16) == b"\x01\x00\x00\x00" * 4
+        assert vsplat(-1, INT16, 16) == b"\xff" * 16
+
+    def test_vshiftpair_basic(self):
+        v1 = bytes(range(16))
+        v2 = bytes(range(16, 32))
+        assert vshiftpair(v1, v2, 0, 16) == v1
+        assert vshiftpair(v1, v2, 16, 16) == v2
+        assert vshiftpair(v1, v2, 4, 16) == bytes(range(4, 20))
+
+    def test_vshiftpair_bounds(self):
+        v = bytes(16)
+        with pytest.raises(MachineError):
+            vshiftpair(v, v, 17, 16)
+        with pytest.raises(MachineError):
+            vshiftpair(v, v, -1, 16)
+        with pytest.raises(MachineError):
+            vshiftpair(v[:8], v, 0, 16)
+
+    def test_vsplice_partition(self):
+        v1 = b"\xaa" * 16
+        v2 = b"\xbb" * 16
+        assert vsplice(v1, v2, 0, 16) == v2
+        assert vsplice(v1, v2, 16, 16) == v1
+        out = vsplice(v1, v2, 5, 16)
+        assert out == v1[:5] + v2[5:]
+
+    def test_vbinop_lanewise(self):
+        a = from_lanes([1, 2, 3, 4], INT32)
+        b = from_lanes([10, 20, 30, 40], INT32)
+        assert lanes(vbinop(ADD, a, b, INT32, 16), INT32) == [11, 22, 33, 44]
+
+    def test_vbinop_wraps_like_hardware(self):
+        a = from_lanes([127] * 16, INT8)
+        b = from_lanes([1] * 16, INT8)
+        assert lanes(vbinop(ADD, a, b, INT8, 16), INT8) == [-128] * 16
+        ua = from_lanes([200] * 16, UINT8)
+        assert lanes(vbinop(MUL, ua, ua, UINT8, 16), UINT8) == [(200 * 200) % 256] * 16
+
+    def test_lanes_roundtrip(self):
+        values = [-1, 0, 1, 2**31 - 1]
+        assert lanes(from_lanes(values, INT32), INT32) == values
+        with pytest.raises(MachineError):
+            lanes(b"\x00" * 15, INT32)
+
+    # -- property tests ----------------------------------------------------
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16),
+           st.integers(0, 16))
+    def test_vsplice_is_byte_partition(self, v1, v2, point):
+        out = vsplice(v1, v2, point, 16)
+        assert out[:point] == v1[:point]
+        assert out[point:] == v2[point:]
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16),
+           st.integers(0, 16))
+    def test_vshiftpair_window(self, v1, v2, shift):
+        out = vshiftpair(v1, v2, shift, 16)
+        assert out == (v1 + v2)[shift:shift + 16]
+
+    @given(st.binary(min_size=16, max_size=16), st.integers(0, 15), st.integers(0, 15))
+    def test_shift_composition(self, v, s1, s2):
+        # Shifting twice within one register == shifting once by the sum
+        # (when the sum stays in range), with zero fill coming from the
+        # second operand.
+        zero = bytes(16)
+        if s1 + s2 <= 15:
+            once = vshiftpair(v, zero, s1 + s2, 16)
+            twice = vshiftpair(vshiftpair(v, zero, s1, 16), zero, s2, 16)
+            # twice loses bytes shifted in from `zero`, which are zero anyway
+            assert once == twice
+
+    @given(st.lists(st.integers(-128, 127), min_size=16, max_size=16))
+    def test_from_lanes_inverse(self, values):
+        assert lanes(from_lanes(values, INT8), INT8) == values

@@ -1,0 +1,147 @@
+"""Tests for the four shift-placement policies (paper Section 3.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import KnownOffset
+from repro.errors import PolicyError
+from repro.bench.synth import SynthParams, synthesize
+from repro.ir import LoopBuilder, figure1_loop
+from repro.reorg import (
+    apply_policy,
+    build_loop_graph,
+    default_policy,
+    dominant_offset,
+    is_valid,
+    validate_graph,
+)
+
+
+def graph_for(loop, V=16):
+    return build_loop_graph(loop, V)
+
+
+def fig6a_loop():
+    lb = LoopBuilder(trip=100, name="fig6a")
+    a = lb.array("a", "int32", 128)
+    b = lb.array("b", "int32", 128)
+    c = lb.array("c", "int32", 128)
+    lb.assign(a[3], b[1] + c[1])
+    return lb.build()
+
+
+def fig6b_loop():
+    lb = LoopBuilder(trip=100, name="fig6b")
+    a = lb.array("a", "int32", 128)
+    b = lb.array("b", "int32", 128)
+    c = lb.array("c", "int32", 128)
+    d = lb.array("d", "int32", 128)
+    lb.assign(a[3], b[1] * c[2] + d[1])
+    return lb.build()
+
+
+class TestPaperExamples:
+    """Shift counts from the paper's running examples (Figures 4-6)."""
+
+    def test_figure4_zero_shift_uses_three(self):
+        assert apply_policy(graph_for(figure1_loop()), "zero").shift_count() == 3
+
+    def test_figure5_eager_shift_uses_two(self):
+        assert apply_policy(graph_for(figure1_loop()), "eager").shift_count() == 2
+
+    def test_figure6a_lazy_exploits_relative_alignment(self):
+        graph = graph_for(fig6a_loop())
+        assert apply_policy(graph, "zero").shift_count() == 3
+        assert apply_policy(graph, "eager").shift_count() == 2
+        assert apply_policy(graph, "lazy").shift_count() == 1
+
+    def test_figure6b_dominant_shift_uses_two(self):
+        graph = graph_for(fig6b_loop())
+        assert apply_policy(graph, "zero").shift_count() == 4
+        assert apply_policy(graph, "dominant").shift_count() == 2
+
+    def test_figure6b_dominant_offset_is_four(self):
+        graph = graph_for(fig6b_loop())
+        assert dominant_offset(graph.statements[0], 16) == KnownOffset(4)
+
+
+class TestPolicyProperties:
+    def test_all_policies_produce_valid_graphs(self):
+        for loop in (figure1_loop(), fig6a_loop(), fig6b_loop()):
+            graph = graph_for(loop)
+            for policy in ("zero", "eager", "lazy", "dominant"):
+                validate_graph(apply_policy(graph, policy))
+
+    def test_aligned_loop_needs_no_shifts(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 128)
+        b = lb.array("b", "int32", 128)
+        lb.assign(a[0], b[4] + 1)
+        graph = graph_for(lb.build())
+        for policy in ("zero", "eager", "lazy", "dominant"):
+            assert apply_policy(graph, policy).shift_count() == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            apply_policy(graph_for(figure1_loop()), "psychic")
+
+    def test_runtime_alignment_restricted_to_zero(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 160, align=None)
+        b = lb.array("b", "int32", 160, align=None)
+        lb.assign(a[0], b[1] + 1)
+        graph = graph_for(lb.build())
+        validate_graph(apply_policy(graph, "zero"))
+        for policy in ("eager", "lazy", "dominant"):
+            with pytest.raises(PolicyError, match="compile-time"):
+                apply_policy(graph, policy)
+
+    def test_default_policy_selection(self):
+        assert default_policy(graph_for(figure1_loop())) == "dominant"
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 160, align=None)
+        b = lb.array("b", "int32", 160)
+        lb.assign(a[0], b[1])
+        assert default_policy(graph_for(lb.build())) == "zero"
+
+    def test_dominant_tie_prefers_store_offset(self):
+        # loads at 4 and 8 (one each), store at 8: tie between 4 and 8
+        # broken toward the store, saving the final shift.
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 128)
+        b = lb.array("b", "int32", 128)
+        c = lb.array("c", "int32", 128)
+        lb.assign(a[2], b[1] + c[2])
+        graph = graph_for(lb.build())
+        assert dominant_offset(graph.statements[0], 16) == KnownOffset(8)
+        assert apply_policy(graph, "dominant").shift_count() == 1
+
+    def test_policy_ordering_on_random_loops(self):
+        # Guaranteed orderings: delaying can only remove shifts
+        # (lazy <= eager), and the dominant meeting offset never does
+        # worse than zero's shift-everything placement.  (lazy vs
+        # dominant is NOT ordered — the paper applies dominant "after"
+        # lazy precisely because either can win.)
+        rng = random.Random(5)
+        for seed in range(30):
+            params = SynthParams(loads=rng.randint(1, 6),
+                                 statements=rng.randint(1, 3),
+                                 trip=50, bias=rng.random(), reuse=rng.random())
+            loop = synthesize(params, seed=seed).loop
+            graph = graph_for(loop)
+            counts = {p: apply_policy(graph, p).shift_count()
+                      for p in ("zero", "eager", "lazy", "dominant")}
+            assert counts["lazy"] <= counts["eager"]
+            assert counts["dominant"] <= counts["zero"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 3))
+    def test_policies_always_validate_on_synthesized_loops(self, seed, loads, stmts):
+        params = SynthParams(loads=loads, statements=stmts, trip=40,
+                             bias=0.5, reuse=0.5)
+        loop = synthesize(params, seed=seed).loop
+        graph = graph_for(loop)
+        for policy in ("zero", "eager", "lazy", "dominant"):
+            assert is_valid(apply_policy(graph, policy))

@@ -1,0 +1,68 @@
+"""Tests for the AltiVec-style program printer."""
+
+from repro.ir import LoopBuilder, figure1_loop
+from repro.simdize import SimdOptions, simdize
+from repro.vir import format_program
+
+
+def program(options=None, loop=None):
+    return simdize(loop or figure1_loop(), options=options or SimdOptions()).program
+
+
+class TestAltivecDialect:
+    def test_altivec_mnemonics(self):
+        text = format_program(program(SimdOptions(policy="zero", reuse="none")),
+                              altivec=True)
+        assert "vec_ld(0, " in text
+        assert "vec_perm(" in text
+        assert "vec_sel(" in text
+        assert "vec_st(" in text
+        assert "vec_add(" in text
+
+    def test_generic_dialect(self):
+        text = format_program(program(SimdOptions(policy="zero", reuse="none")),
+                              altivec=False)
+        assert "vload(" in text
+        assert "vshiftpair(" in text
+        assert "vsplice(" in text
+        assert "vstore(" in text
+
+    def test_loop_structure_rendered(self):
+        text = format_program(program())
+        assert "for (i = 1; i < 97; i += 4)" in text
+        assert "// --- prologue_s0" in text
+        assert "// --- epilogue_s0" in text
+
+    def test_header_mentions_machine_shape(self):
+        text = format_program(program())
+        assert "V=16 bytes" in text
+        assert "B=4" in text
+
+    def test_guard_rendered_for_runtime_trips(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 256)
+        b = lb.array("b", "int32", 256)
+        lb.assign(a[1], b[2])
+        text = format_program(program(loop=lb.build(), options=SimdOptions()))
+        assert "if (ub <= 12)" in text
+        assert "original scalar loop" in text
+
+    def test_bottom_copies_annotated(self):
+        text = format_program(program(SimdOptions(reuse="sp", unroll=1)))
+        assert "bottom-of-loop copies" in text
+
+    def test_conditional_sections_rendered(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 256, align=4)
+        b = lb.array("b", "int32", 256)
+        lb.assign(a[1], b[2])
+        text = format_program(program(loop=lb.build()))
+        assert "if (" in text
+
+    def test_splat_rendered(self):
+        lb = LoopBuilder(trip=40)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[0], b[0] + 9)
+        text = format_program(program(loop=lb.build()))
+        assert "vec_splat(9)" in text

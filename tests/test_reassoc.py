@@ -1,0 +1,100 @@
+"""Tests for common-offset reassociation (paper Section 5.5)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import LoopBuilder
+from repro.reorg import apply_policy, build_loop_graph, reassociate, validate_graph
+from repro.reorg.graph import RLoad, ROp, RShiftStream
+
+from conftest import check_loop
+from repro.simdize import SimdOptions
+
+
+def interleaved_loop():
+    """(b@4 + c@8) + (d@4 + e@8) with store at 0 — the worst interleave."""
+    lb = LoopBuilder(trip=60, name="interleave")
+    a = lb.array("a", "int32", 96)
+    b = lb.array("b", "int32", 96)
+    c = lb.array("c", "int32", 96)
+    d = lb.array("d", "int32", 96)
+    e = lb.array("e", "int32", 96)
+    lb.assign(a[0], (b[1] + c[2]) + (d[1] + e[2]))
+    return lb.build()
+
+
+class TestReassociate:
+    def test_reduces_lazy_shifts_to_n_minus_1(self):
+        graph = build_loop_graph(interleaved_loop(), 16)
+        plain = apply_policy(graph, "lazy").shift_count()
+        regrouped = apply_policy(reassociate(graph), "lazy").shift_count()
+        # alignments {4, 8, 0(store)} -> n-1 = 2 shifts after regrouping
+        assert regrouped == 2
+        assert plain == 4
+
+    def test_keeps_graph_valid(self):
+        graph = reassociate(build_loop_graph(interleaved_loop(), 16))
+        for policy in ("zero", "eager", "lazy", "dominant"):
+            validate_graph(apply_policy(graph, policy))
+
+    def test_groups_equal_offsets_adjacent(self):
+        graph = reassociate(build_loop_graph(interleaved_loop(), 16))
+        root = graph.statements[0].store.src
+
+        def leaves_in_order(node):
+            if isinstance(node, RLoad):
+                return [node.offset(16).value]
+            assert isinstance(node, ROp)
+            out = []
+            for child in node.inputs:
+                out.extend(leaves_in_order(child))
+            return out
+
+        order = leaves_in_order(root)
+        # equal offsets must be contiguous after regrouping
+        assert order in ([4, 4, 8, 8], [8, 8, 4, 4])
+
+    def test_non_associative_ops_untouched(self):
+        lb = LoopBuilder(trip=60)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        d = lb.array("d", "int32", 96)
+        lb.assign(a[0], (b[1] - c[2]) - d[1])
+        graph = build_loop_graph(lb.build(), 16)
+        before = str(graph.statements[0].store)
+        after = str(reassociate(graph).statements[0].store)
+        assert before == after
+
+    def test_mixed_operator_chains_regroup_within_operator(self):
+        lb = LoopBuilder(trip=60)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        d = lb.array("d", "int32", 96)
+        lb.assign(a[0], b[1] * c[1] + d[2] + b[2])
+        graph = build_loop_graph(lb.build(), 16)
+        reassociate(graph)  # must not raise; mul subtree is one operand
+
+    def test_rejects_graphs_with_shifts(self):
+        graph = apply_policy(build_loop_graph(interleaved_loop(), 16), "zero")
+        with pytest.raises(GraphError, match="before shift placement"):
+            reassociate(graph)
+
+    def test_execution_equivalence_preserved(self):
+        # Reassociation changes evaluation order; results must not change.
+        loop = interleaved_loop()
+        for policy in ("lazy", "dominant"):
+            check_loop(loop, SimdOptions(policy=policy, offset_reassoc=True))
+
+    def test_reassoc_with_splats(self):
+        lb = LoopBuilder(trip=60)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        lb.assign(a[0], b[1] + 5 + c[1] + 9)
+        loop = lb.build()
+        graph = reassociate(build_loop_graph(loop, 16))
+        # splats group together; graph stays buildable and correct
+        check_loop(loop, SimdOptions(policy="lazy", offset_reassoc=True))
+        assert apply_policy(graph, "lazy").shift_count() == 1

@@ -1,0 +1,160 @@
+"""Tests for reduction vectorization (extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IRError, PolicyError
+from repro.ir import LoopBuilder, Reduction, Ref
+from repro.ir.types import ADD, AND, AVG, MAX, MIN, MUL, OR, SUB, XOR, INT8, INT16, INT32, op_identity
+from repro.machine import ideal_scalar_ops
+from repro.simdize import SimdOptions, simdize
+
+from conftest import check_loop, sequential_memory
+
+
+def sum_loop(trip=100, dtype="int32", op="add", index=0, length=128):
+    lb = LoopBuilder(trip=trip)
+    out = lb.array("out", dtype, 8)
+    b = lb.array("b", dtype, length)
+    c = lb.array("c", dtype, length)
+    lb.reduce(out, index, op, b[1] + c[2])
+    return lb.build()
+
+
+class TestReductionIR:
+    def test_str(self):
+        loop = sum_loop()
+        assert str(loop.statements[0]) == "out[0] += (b[i+1] + c[i+2]);"
+        assert loop.has_reductions
+
+    def test_non_assoc_op_rejected(self):
+        lb = LoopBuilder(trip=10)
+        out = lb.array("out", "int32", 4)
+        b = lb.array("b", "int32", 32)
+        lb.reduce(out, 0, SUB, b[0])
+        with pytest.raises(IRError, match="associative"):
+            lb.build()
+
+    def test_target_index_bounds_checked(self):
+        lb = LoopBuilder(trip=10)
+        out = lb.array("out", "int32", 4)
+        b = lb.array("b", "int32", 32)
+        lb.reduce(out, 9, ADD, b[0])
+        with pytest.raises(IRError, match="outside"):
+            lb.build()
+
+    def test_mixed_statement_kinds_rejected(self):
+        lb = LoopBuilder(trip=10)
+        out = lb.array("out", "int32", 4)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32)
+        lb.assign(a[0], b[0])
+        lb.reduce(out, 0, ADD, b[1])
+        with pytest.raises(IRError, match="mixing"):
+            lb.build()
+
+    def test_identities(self):
+        assert op_identity(ADD, INT32) == 0
+        assert op_identity(MUL, INT32) == 1
+        assert op_identity(MIN, INT8) == 127
+        assert op_identity(MAX, INT8) == -128
+        assert op_identity(AND, INT16) == -1
+        assert op_identity(OR, INT16) == 0
+        assert op_identity(XOR, INT16) == 0
+        with pytest.raises(IRError):
+            op_identity(AVG, INT8)
+
+    def test_ideal_scalar_count(self):
+        loop = sum_loop(trip=100)
+        # per iteration: 2 loads + 1 add + 1 accumulate; +2 fixed
+        assert ideal_scalar_ops(loop, 100) == 402
+
+
+class TestReductionExecution:
+    def test_sum_exact_value(self):
+        loop = sum_loop(trip=20, length=48)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        from repro.machine import run_vector
+
+        run_vector(result.program, space, mem)
+        # out[0] starts at 0 (sequential_memory writes index values)
+        expected = 0 + sum((i + 1) + (i + 2) for i in range(20))
+        assert space["out"].read_all(mem)[0] == expected
+        # neighbouring elements preserved
+        assert space["out"].read_all(mem)[1:] == list(range(1, 8))
+
+    def test_initial_value_participates(self):
+        loop = sum_loop(trip=8, length=32, index=3)
+        result = simdize(loop)
+        space, mem = sequential_memory(loop)
+        space["out"].write_all(mem, [0, 0, 0, 1000, 0, 0, 0, 0])
+        from repro.machine import run_vector
+
+        run_vector(result.program, space, mem)
+        expected = 1000 + sum((i + 1) + (i + 2) for i in range(8))
+        assert space["out"].read_all(mem)[3] == expected
+
+    @pytest.mark.parametrize("op", ["add", "mul", "min", "max", "and", "or", "xor"])
+    def test_all_ops_verify(self, op):
+        check_loop(sum_loop(trip=37, op=op), SimdOptions(reuse="sp", unroll=2))
+
+    @pytest.mark.parametrize("trip", [1, 2, 3, 4, 7, 8, 16, 31, 100])
+    def test_all_trip_residues(self, trip):
+        check_loop(sum_loop(trip=trip, length=128), SimdOptions(reuse="pc"))
+
+    def test_runtime_trip_no_guard_needed(self):
+        lb = LoopBuilder(trip="n")
+        out = lb.array("out", "int32", 4)
+        b = lb.array("b", "int32", 256)
+        lb.reduce(out, 0, ADD, b[5])
+        loop = lb.build()
+        result = simdize(loop)
+        assert result.program.guard_min_trip is None
+        for trip in (0, 1, 5, 100):
+            check_loop(loop, SimdOptions(reuse="sp"), trip=trip)
+
+    def test_runtime_alignment(self):
+        lb = LoopBuilder(trip=60)
+        out = lb.array("out", "int16", 8, align=None)
+        b = lb.array("b", "int16", 128, align=None)
+        lb.reduce(out, 2, MAX, b[3])
+        check_loop(lb.build(), SimdOptions(policy="zero", reuse="sp"))
+
+    def test_policy_restriction(self):
+        with pytest.raises(PolicyError, match="zero-shift accumulator"):
+            simdize(sum_loop(), options=SimdOptions(policy="lazy"))
+
+    def test_multi_reduction_statements(self):
+        lb = LoopBuilder(trip=50)
+        s1 = lb.array("s1", "int32", 4)
+        s2 = lb.array("s2", "int32", 4)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        lb.reduce(s1, 0, ADD, b[1] * c[2])   # dot product
+        lb.reduce(s2, 1, MIN, b[3])
+        check_loop(lb.build(), SimdOptions(reuse="sp", unroll=4))
+
+    def test_reduction_with_iota(self):
+        lb = LoopBuilder(trip=41)
+        out = lb.array("out", "int32", 4)
+        b = lb.array("b", "int32", 64)
+        lb.reduce(out, 0, ADD, b[2] * lb.index_value())
+        check_loop(lb.build(), SimdOptions(reuse="pc", unroll=2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([INT8, INT16, INT32]),
+           st.sampled_from(["add", "mul", "min", "max", "xor"]),
+           st.integers(1, 70), st.sampled_from([1, 2, 4]))
+    def test_reduction_property(self, seed, dtype, op, trip, unroll):
+        lb = LoopBuilder(trip=trip)
+        out = lb.array("out", dtype.name, 8, align=(seed % 4) * dtype.size)
+        b = lb.array("b", dtype.name, 96)
+        c = lb.array("c", dtype.name, 96)
+        lb.reduce(out, seed % 8, op, b[seed % 5] + c[(seed // 5) % 5])
+        check_loop(lb.build(), SimdOptions(reuse="sp", unroll=unroll), seed=seed)
+
+    def test_reduction_speedup(self):
+        loop = sum_loop(trip=400, length=440)
+        _, report = check_loop(loop, SimdOptions(reuse="sp", unroll=4))
+        assert report.speedup > 1.5

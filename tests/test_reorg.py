@@ -1,0 +1,147 @@
+"""Tests for reorganization-graph construction, offsets, and validation."""
+
+import pytest
+
+from repro.align import ANY, KnownOffset
+from repro.errors import GraphError
+from repro.ir import Const, INT32, LoopBuilder, figure1_loop
+from repro.ir.types import ADD
+from repro.reorg import (
+    RLoad,
+    ROp,
+    RShiftStream,
+    RSplat,
+    RStore,
+    build_loop_graph,
+    is_valid,
+    validate_graph,
+    validate_statement,
+)
+from repro.reorg.graph import StatementGraph
+
+
+def fig1_graph(V=16):
+    return build_loop_graph(figure1_loop(), V)
+
+
+class TestBuild:
+    def test_bare_graph_shape(self):
+        graph = fig1_graph()
+        assert len(graph.statements) == 1
+        store = graph.statements[0].store
+        assert isinstance(store, RStore)
+        assert isinstance(store.src, ROp)
+        assert all(isinstance(c, RLoad) for c in store.src.inputs)
+        assert graph.B == 4
+        assert graph.shift_count() == 0
+
+    def test_splat_nodes_for_invariants(self):
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32)
+        alpha = lb.scalar("alpha")
+        lb.assign(a[0], b[0] * alpha + 2)
+        graph = build_loop_graph(lb.build(), 16)
+        splats = [n for n in graph.statements[0].store.walk() if isinstance(n, RSplat)]
+        assert len(splats) == 2
+
+    def test_splat_rejects_non_invariant(self):
+        loop = figure1_loop()
+        ref = loop.statements[0].loads()[0]
+        with pytest.raises(GraphError):
+            RSplat(ref)
+
+
+class TestOffsets:
+    def test_node_offsets(self):
+        graph = fig1_graph()
+        store = graph.statements[0].store
+        assert store.offset(16) == KnownOffset(12)
+        b_node, c_node = store.src.inputs
+        assert b_node.offset(16) == KnownOffset(4)
+        assert c_node.offset(16) == KnownOffset(8)
+
+    def test_op_offset_is_first_defined_input(self):
+        graph = fig1_graph()
+        op = graph.statements[0].store.src
+        assert op.offset(16) == KnownOffset(4)
+
+    def test_splat_offset_is_any(self):
+        assert RSplat(Const(1)).offset(16) == ANY
+
+    def test_shift_offset_is_target(self):
+        graph = fig1_graph()
+        load = graph.statements[0].store.src.inputs[0]
+        shifted = RShiftStream(load, KnownOffset(0))
+        assert shifted.offset(16) == KnownOffset(0)
+
+    def test_shift_to_any_rejected(self):
+        graph = fig1_graph()
+        load = graph.statements[0].store.src.inputs[0]
+        with pytest.raises(GraphError):
+            RShiftStream(load, ANY)
+
+
+class TestValidate:
+    def test_bare_misaligned_graph_is_invalid(self):
+        graph = fig1_graph()
+        assert not is_valid(graph)
+        with pytest.raises(GraphError, match=r"C\.[23]"):
+            validate_graph(graph)
+
+    def test_c2_violation_reported(self):
+        # aligned operands, misaligned store -> (C.2)
+        lb = LoopBuilder(trip=20)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[1], b[0] + b[4])
+        graph = build_loop_graph(lb.build(), 16)
+        with pytest.raises(GraphError, match=r"C\.2"):
+            validate_graph(graph)
+
+    def test_c3_violation_reported(self):
+        lb = LoopBuilder(trip=20)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        c = lb.array("c", "int32", 64)
+        lb.assign(a[0], b[1] + c[2])
+        graph = build_loop_graph(lb.build(), 16)
+        with pytest.raises(GraphError, match=r"C\.3"):
+            validate_graph(graph)
+
+    def test_aligned_graph_is_valid(self):
+        lb = LoopBuilder(trip=20)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        c = lb.array("c", "int32", 64)
+        lb.assign(a[0], b[4] + c[8])
+        graph = build_loop_graph(lb.build(), 16)
+        validate_graph(graph)
+
+    def test_splat_matches_any_store(self):
+        lb = LoopBuilder(trip=20)
+        a = lb.array("a", "int32", 64)
+        lb.assign(a[1], 7)
+        graph = build_loop_graph(lb.build(), 16)
+        validate_graph(graph)  # splat-only RHS is valid at any alignment
+
+    def test_shifting_a_splat_rejected(self):
+        shift = RShiftStream(RSplat(Const(3)), KnownOffset(12))
+        sg = StatementGraph(RStore(figure1_loop().statements[0].target, shift), 0)
+        with pytest.raises(GraphError, match="splat"):
+            validate_statement(sg, 16)
+
+    def test_out_of_range_shift_target(self):
+        graph = fig1_graph()
+        load = graph.statements[0].store.src.inputs[0]
+        bad = RShiftStream(load, KnownOffset(16))
+        sg = StatementGraph(RStore(figure1_loop().statements[0].target, bad), 0)
+        with pytest.raises(GraphError, match="outside"):
+            validate_statement(sg, 16)
+
+    def test_statement_introspection(self):
+        graph = fig1_graph()
+        sg = graph.statements[0]
+        assert len(sg.load_nodes()) == 2
+        assert sg.shift_nodes() == []
+        assert sg.shift_count() == 0

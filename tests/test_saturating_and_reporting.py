@@ -1,0 +1,128 @@
+"""Tests for saturating arithmetic and benchmark result rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodegenError
+from repro.export import export_c, find_compiler, cross_validate
+from repro.ir import INT8, INT16, INT32, LoopBuilder, UINT8
+from repro.ir.types import SADD, SSUB
+from repro.lang import compile_source
+from repro.simdize import SimdOptions, simdize
+
+from conftest import check_loop
+
+
+class TestSaturatingSemantics:
+    def test_signed_clamping(self):
+        assert SADD.apply(100, 100, INT8) == 127
+        assert SADD.apply(-100, -100, INT8) == -128
+        assert SADD.apply(3, 4, INT8) == 7
+        assert SSUB.apply(-100, 100, INT8) == -128
+        assert SSUB.apply(100, -100, INT8) == 127
+
+    def test_unsigned_clamping(self):
+        assert SADD.apply(200, 100, UINT8) == 255
+        assert SSUB.apply(10, 20, UINT8) == 0
+
+    def test_not_reassociable(self):
+        # (100 sadd 100) ssub 100 != 100 sadd (100 ssub 100) on int8
+        assert not SADD.associative
+        lhs = SSUB.apply(SADD.apply(100, 100, INT8), 100, INT8)
+        rhs = SADD.apply(100, SSUB.apply(100, 100, INT8), INT8)
+        assert lhs != rhs
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_sadd_in_range(self, a, b):
+        out = SADD.apply(a, b, INT8)
+        assert -128 <= out <= 127
+        assert out == min(max(a + b, -128), 127)
+
+    def test_reduction_rejects_saturating_ops(self):
+        from repro.errors import IRError
+
+        lb = LoopBuilder(trip=20)
+        out = lb.array("out", "int8", 4)
+        b = lb.array("b", "int8", 40)
+        lb.reduce(out, 0, SADD, b[0])
+        with pytest.raises(IRError, match="associative"):
+            lb.build()
+
+
+class TestSaturatingVectorization:
+    def test_vm_equivalence(self):
+        loop = compile_source("""
+            char y[200] align 3;
+            char u[200];
+            char v[200] align 9;
+            for (i = 0; i < 150; i++) { y[i+1] = ssub(sadd(u[i+2], v[i]), 5); }
+        """)
+        for reuse in ("none", "sp", "pc"):
+            check_loop(loop, SimdOptions(reuse=reuse, unroll=2))
+
+    def test_sse_emission_uses_adds(self):
+        loop = compile_source(
+            "short a[200]; short b[200];"
+            "for (i = 0; i < 150; i++) { a[i+1] = sadd(b[i+3], 7); }")
+        src = export_c(simdize(loop).program, "sse")
+        assert "_mm_adds_epi16" in src
+
+    def test_altivec_emission_uses_vec_adds(self):
+        loop = compile_source(
+            "unsigned char a[200]; unsigned char b[200];"
+            "for (i = 0; i < 150; i++) { a[i+1] = sadd(b[i+3], 7); }")
+        src = export_c(simdize(loop).program, "altivec")
+        assert "vec_adds" in src
+
+    def test_sse_rejects_32bit_saturation(self):
+        loop = compile_source(
+            "int a[200]; int b[200];"
+            "for (i = 0; i < 150; i++) { a[i+1] = sadd(b[i+3], 7); }")
+        with pytest.raises(CodegenError, match="32-bit saturating"):
+            export_c(simdize(loop).program, "sse")
+
+    @pytest.mark.skipif(find_compiler() is None, reason="no C compiler")
+    def test_compiled_saturation_matches(self):
+        loop = compile_source("""
+            char y[300] align 1;
+            char u[300] align 7;
+            for (i = 0; i < 250; i++) { y[i] = sadd(u[i+2], u[i+5]); }
+        """)
+        assert cross_validate(loop, SimdOptions(reuse="sp", unroll=2)).passed
+
+
+class TestReporting:
+    def _figure(self):
+        from repro.bench import figure11
+
+        return figure11(count=2, trip=61)
+
+    def test_figure_chart(self):
+        from repro.bench.reporting import figure_chart
+
+        chart = figure_chart(self._figure())
+        assert "█" in chart and "LAZY-pc" in chart
+        assert "lower bound" in chart
+
+    def test_figure_markdown(self):
+        from repro.bench.reporting import figure_markdown
+
+        md = figure_markdown(self._figure())
+        assert md.count("|") > 20
+        assert "| scheme |" in md
+
+    def test_table_markdown(self):
+        from repro.bench import measure_row, TableResult
+        from repro.bench.reporting import table_markdown
+
+        row = measure_row(1, 2, INT32, count=2, trip=61)
+        md = table_markdown(TableResult("t", 4, [row]))
+        assert "| S1*L2 |" in md
+
+    def test_comparison_markdown(self):
+        from repro.bench.reporting import comparison_markdown
+
+        md = comparison_markdown("Figure 11", {"best": 4.022, "zero": 4.963},
+                                 {"best": 4.344})
+        assert "| best | 4.022 | 4.344 | 1.08 |" in md
+        assert "| zero | 4.963 | — | — |" in md

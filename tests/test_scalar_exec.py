@@ -1,0 +1,98 @@
+"""Tests for the scalar reference executor and ideal op accounting."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir import LoopBuilder, figure1_loop
+from repro.machine import ArraySpace, RunBindings, ideal_scalar_opd, ideal_scalar_ops, run_scalar
+
+from conftest import sequential_memory
+
+
+class TestRunScalar:
+    def test_figure1_values(self):
+        loop = figure1_loop(trip=10, length=32)
+        space, mem = sequential_memory(loop)
+        run_scalar(loop, space, mem)
+        a = space["a"].read_all(mem)
+        # a[i+3] = b[i+1] + c[i+2] = (i+1) + (i+2)
+        for i in range(10):
+            assert a[i + 3] == 2 * i + 3
+        # untouched elements keep their initial values
+        assert a[0:3] == [0, 1, 2]
+        assert a[13] == 13
+
+    def test_op_counts_match_ideal(self):
+        loop = figure1_loop(trip=10, length=32)
+        space, mem = sequential_memory(loop)
+        result = run_scalar(loop, space, mem)
+        # per iteration: 2 loads + 1 add + 1 store = 4
+        assert result.ops == 40
+        assert result.ops == ideal_scalar_ops(loop, 10)
+        assert ideal_scalar_opd(loop) == 4.0
+        assert result.data_count == 10
+
+    def test_six_load_loop_opd_is_twelve(self):
+        # The paper's Section 5.5 reference point: 6 loads, 5 adds,
+        # 1 store -> 12 operations per datum.
+        lb = LoopBuilder(trip=20)
+        out = lb.array("out", "int32", 40)
+        refs = [lb.array(f"in{k}", "int32", 40)[k % 3] for k in range(6)]
+        expr = refs[0]
+        for r in refs[1:]:
+            expr = expr + r
+        lb.assign(out[1], expr)
+        assert ideal_scalar_opd(lb.build()) == 12.0
+
+    def test_invariants_and_consts_are_free(self):
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32)
+        alpha = lb.scalar("alpha")
+        lb.assign(a[0], b[0] * alpha + 7)
+        loop = lb.build()
+        space, mem = sequential_memory(loop)
+        result = run_scalar(loop, space, mem, RunBindings(scalars={"alpha": 3}))
+        # 1 load + 2 arith + 1 store per iteration; splat operands free.
+        assert result.ops == 40
+        assert space["a"].read_all(mem)[0] == 0 * 3 + 7
+
+    def test_wrapping_matches_type(self):
+        lb = LoopBuilder(trip=4)
+        a = lb.array("a", "int8", 16)
+        b = lb.array("b", "int8", 16)
+        lb.assign(a[0], b[0] + 100)
+        loop = lb.build()
+        space, mem = sequential_memory(loop)
+        space["b"].write_all(mem, [100, 50, 0, -100] + [0] * 12)
+        run_scalar(loop, space, mem)
+        assert space["a"].read_all(mem)[:4] == [-56, -106, 100, 0]
+
+    def test_runtime_trip_binding(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[0], b[0])
+        loop = lb.build()
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError, match="unbound"):
+            run_scalar(loop, space, mem)
+        result = run_scalar(loop, space, mem, RunBindings(trip=5))
+        assert result.trip == 5
+
+    def test_trip_mismatch_rejected(self):
+        loop = figure1_loop(trip=10, length=32)
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError, match="mismatch"):
+            run_scalar(loop, space, mem, RunBindings(trip=11))
+
+    def test_unbound_scalar_rejected(self):
+        lb = LoopBuilder(trip=4)
+        a = lb.array("a", "int32", 16)
+        b = lb.array("b", "int32", 16)
+        x = lb.scalar("x")
+        lb.assign(a[0], b[0] + x)
+        loop = lb.build()
+        space, mem = sequential_memory(loop)
+        with pytest.raises(MachineError, match="unbound"):
+            run_scalar(loop, space, mem)

@@ -1,0 +1,132 @@
+"""Unit and property tests for element types and lane operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir.types import (
+    ADD,
+    ALL_OPS,
+    ALL_TYPES,
+    AVG,
+    INT8,
+    INT16,
+    INT32,
+    MAX,
+    MIN,
+    MUL,
+    SUB,
+    UINT8,
+    UINT16,
+    DataType,
+    op_by_name,
+    type_by_name,
+)
+
+
+class TestDataType:
+    def test_sizes_and_signedness(self):
+        assert INT8.size == 1 and INT8.signed
+        assert INT16.size == 2 and INT16.signed
+        assert INT32.size == 4 and INT32.signed
+        assert UINT8.size == 1 and not UINT8.signed
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(IRError):
+            DataType("odd", 3, signed=True)
+
+    def test_ranges(self):
+        assert (INT8.min_value, INT8.max_value) == (-128, 127)
+        assert (UINT8.min_value, UINT8.max_value) == (0, 255)
+        assert INT16.max_value == 32767
+        assert INT32.min_value == -(2**31)
+
+    def test_wrap_signed(self):
+        assert INT8.wrap(127) == 127
+        assert INT8.wrap(128) == -128
+        assert INT8.wrap(-129) == 127
+        assert INT16.wrap(0x18000) == -0x8000
+
+    def test_wrap_unsigned(self):
+        assert UINT8.wrap(256) == 0
+        assert UINT8.wrap(-1) == 255
+        assert UINT16.wrap(0x1FFFF) == 0xFFFF
+
+    def test_bytes_roundtrip_basic(self):
+        assert INT32.to_bytes(-1) == b"\xff\xff\xff\xff"
+        assert INT16.from_bytes(b"\x34\x12") == 0x1234
+        with pytest.raises(IRError):
+            INT16.from_bytes(b"\x00")
+
+    @given(st.sampled_from(ALL_TYPES), st.integers(-(2**40), 2**40))
+    def test_bytes_roundtrip_property(self, dtype, value):
+        wrapped = dtype.wrap(value)
+        assert dtype.min_value <= wrapped <= dtype.max_value
+        assert dtype.from_bytes(dtype.to_bytes(wrapped)) == wrapped
+
+    @given(st.sampled_from(ALL_TYPES), st.integers(), st.integers())
+    def test_wrap_is_congruent(self, dtype, a, b):
+        # wrap respects modular arithmetic: wrap(a)+wrap(b) ≡ a+b.
+        lhs = dtype.wrap(dtype.wrap(a) + dtype.wrap(b))
+        rhs = dtype.wrap(a + b)
+        assert lhs == rhs
+
+    def test_lookup_by_name_and_alias(self):
+        assert type_by_name("int32") is INT32
+        assert type_by_name("int") is INT32
+        assert type_by_name("short") is INT16
+        assert type_by_name("unsigned char") is UINT8
+        with pytest.raises(IRError):
+            type_by_name("float")
+
+
+class TestBinaryOps:
+    def test_semantics(self):
+        assert ADD.apply(3, 4, INT32) == 7
+        assert SUB.apply(3, 4, INT32) == -1
+        assert MUL.apply(300, 300, INT16) == INT16.wrap(90000)
+        assert MIN.apply(-5, 2, INT8) == -5
+        assert MAX.apply(-5, 2, INT8) == 2
+        assert AVG.apply(3, 5, INT8) == 4
+
+    def test_wrapping_semantics(self):
+        assert ADD.apply(127, 1, INT8) == -128
+        assert ADD.apply(255, 1, UINT8) == 0
+        assert MUL.apply(2**30, 4, INT32) == 0
+
+    def test_lookup(self):
+        assert op_by_name("add") is ADD
+        assert op_by_name("+") is ADD
+        assert op_by_name("min") is MIN
+        with pytest.raises(IRError):
+            op_by_name("div")
+
+    @given(
+        st.sampled_from([op for op in ALL_OPS if op.commutative]),
+        st.sampled_from(ALL_TYPES),
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+    )
+    def test_commutativity_claims_hold(self, op, dtype, a, b):
+        a, b = dtype.wrap(a), dtype.wrap(b)
+        assert op.apply(a, b, dtype) == op.apply(b, a, dtype)
+
+    @given(
+        st.sampled_from([op for op in ALL_OPS if op.associative]),
+        st.sampled_from(ALL_TYPES),
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+    )
+    def test_associativity_claims_hold(self, op, dtype, a, b, c):
+        a, b, c = dtype.wrap(a), dtype.wrap(b), dtype.wrap(c)
+        lhs = op.apply(op.apply(a, b, dtype), c, dtype)
+        rhs = op.apply(a, op.apply(b, c, dtype), dtype)
+        assert lhs == rhs
+
+    def test_avg_is_not_marked_associative(self):
+        # (a avg b) avg c != a avg (b avg c) in general — the flag
+        # gates OffsetReassoc, so it must stay false.
+        assert not AVG.associative
+        assert not SUB.associative
+        assert not SUB.commutative

@@ -1,0 +1,152 @@
+"""Tests for stream visualization and dependence analysis."""
+
+import pytest
+
+from repro.deps import analyze_dependences, blocking_dependences, dependence_report
+from repro.errors import IRError, SimdalError
+from repro.ir import LoopBuilder, Ref, figure1_loop
+from repro.ir.expr import ArrayDecl
+from repro.ir.types import INT32
+from repro.simdize import SimdOptions
+from repro.viz import (
+    loop_alignment_table,
+    memory_stream,
+    register_stream,
+    shifted_stream,
+    statement_diagram,
+)
+
+from conftest import check_loop
+
+
+class TestStreamDiagrams:
+    def test_memory_stream_shows_offset(self):
+        loop = figure1_loop()
+        b_ref = loop.statements[0].loads()[0]
+        diagram = memory_stream(b_ref)
+        assert diagram.offset == 4
+        assert "byte offset 4" in diagram.text
+        assert "|b0  b1  b2  b3 " in diagram.text
+
+    def test_register_stream_matches_figure2(self):
+        loop = figure1_loop()
+        b_ref = loop.statements[0].loads()[0]
+        text = register_stream(b_ref).text
+        assert "[b0   b1   b2   b3  ]" in text
+        assert "offset = 4" in text
+
+    def test_shifted_stream_matches_figure4(self):
+        loop = figure1_loop()
+        b_ref = loop.statements[0].loads()[0]
+        text = shifted_stream(b_ref, 0).text
+        assert "[b1   b2   b3   b4  ]" in text
+        assert "offset = 0" in text
+
+    def test_base_alignment_shifts_cells(self):
+        decl = ArrayDecl("x", INT32, 32, align=8)
+        diagram = memory_stream(Ref(decl, 0))
+        assert diagram.offset == 8
+        assert " .   .  " in diagram.text.splitlines()[0]
+
+    def test_runtime_alignment_rejected(self):
+        decl = ArrayDecl("x", INT32, 32, align=None)
+        with pytest.raises(SimdalError, match="runtime"):
+            memory_stream(Ref(decl, 0))
+
+    def test_statement_diagram_covers_all_refs(self):
+        text = statement_diagram(figure1_loop().statements[0])
+        assert "load b[i+1]" in text
+        assert "load c[i+2]" in text
+        assert "store a[i+3]" in text
+
+    def test_alignment_table(self):
+        table = loop_alignment_table(figure1_loop())
+        assert "a[i+3]" in table and "12" in table
+        lb = LoopBuilder(trip=10)
+        a = lb.array("a", "int32", 32)
+        b = lb.array("b", "int32", 32, align=None)
+        lb.assign(a[0], b[0])
+        table = loop_alignment_table(lb.build())
+        assert "runtime" in table and "yes" in table
+
+
+class TestDependenceAnalysis:
+    def _loop_statements(self, store_off, load_off, cross=False):
+        a = ArrayDecl("a", INT32, 64)
+        c = ArrayDecl("c", INT32, 64)
+        from repro.ir.expr import Statement
+
+        if cross:
+            return [
+                Statement(Ref(c, 0), Ref(a, load_off)),
+                Statement(Ref(a, store_off), Ref(c, 1)),
+            ]
+        return [Statement(Ref(a, store_off), Ref(a, load_off))]
+
+    def test_flow_dependence_unsafe(self):
+        deps = analyze_dependences(self._loop_statements(2, 0))
+        assert len(deps) == 1
+        assert deps[0].kind == "flow" and not deps[0].safe
+        assert deps[0].distance == -2
+
+    def test_same_iteration_safe(self):
+        deps = analyze_dependences(self._loop_statements(1, 1))
+        assert deps[0].kind == "same-iteration" and deps[0].safe
+
+    def test_anti_dependence_safe(self):
+        deps = analyze_dependences(self._loop_statements(0, 3))
+        assert deps[0].kind == "anti" and deps[0].safe
+        assert deps[0].distance == 3
+
+    def test_cross_statement_order_matters(self):
+        # load statement before store statement: safe
+        deps = analyze_dependences(self._loop_statements(1, 1, cross=True))
+        shared = [d for d in deps if d.array == "a"]
+        assert shared and all(d.safe for d in shared)
+
+    def test_report_mentions_everything(self):
+        report = dependence_report(self._loop_statements(2, 0))
+        assert "BLOCKS VECTORIZATION" in report
+        assert "distance -2" in report
+
+    def test_blockers_filter(self):
+        assert blocking_dependences(self._loop_statements(0, 0)) == []
+        assert blocking_dependences(self._loop_statements(3, 0)) != []
+
+
+class TestDependenceIntegration:
+    def test_in_place_update_vectorizes(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 128, align=4)
+        lb.assign(a[1], a[1] * 2 + 1)
+        for reuse in ("none", "sp", "pc"):
+            check_loop(lb.build(), SimdOptions(reuse=reuse, unroll=2))
+
+    def test_read_ahead_vectorizes(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int16", 128)
+        lb.assign(a[0], a[5].max(0))
+        check_loop(lb.build(), SimdOptions(policy="zero", reuse="sp"))
+
+    def test_flow_rejected_with_distance(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 128)
+        lb.assign(a[4], a[1])
+        with pytest.raises(IRError, match="distance -3"):
+            lb.build()
+
+    def test_unsafe_cross_statement_rejected(self):
+        lb = LoopBuilder(trip=100)
+        a = lb.array("a", "int32", 128)
+        b = lb.array("b", "int32", 128)
+        c = lb.array("c", "int32", 128)
+        lb.assign(a[1], c[0])
+        lb.assign(b[0], a[1])
+        with pytest.raises(IRError, match="follows the storing"):
+            lb.build()
+
+    def test_runtime_alignment_in_place(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 300, align=None)
+        lb.assign(a[0], a[0] + 7)
+        check_loop(lb.build(), SimdOptions(policy="zero", reuse="sp"), trip=200)
