@@ -11,12 +11,13 @@ Paper reference points (s=1, l=6 int loads, bias 30 %, SEQ = 12 opd):
 
 from repro.bench import figure11
 
-from conftest import SUITE_COUNT, TRIP, record
+from conftest import BACKEND, JOBS, SUITE_COUNT, TRIP, record
 
 
 def test_figure11(benchmark):
     fig = benchmark.pedantic(
-        figure11, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        figure11,
+        kwargs=dict(count=SUITE_COUNT, trip=TRIP, jobs=JOBS, backend=BACKEND),
         rounds=1, iterations=1,
     )
     record("figure11", fig.format())

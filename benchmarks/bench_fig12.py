@@ -8,12 +8,13 @@ Figure 11.
 
 from repro.bench import figure11, figure12
 
-from conftest import SUITE_COUNT, TRIP, record
+from conftest import BACKEND, JOBS, SUITE_COUNT, TRIP, record
 
 
 def test_figure12(benchmark):
     fig = benchmark.pedantic(
-        figure12, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        figure12,
+        kwargs=dict(count=SUITE_COUNT, trip=TRIP, jobs=JOBS, backend=BACKEND),
         rounds=1, iterations=1,
     )
     record("figure12", fig.format())
@@ -23,7 +24,7 @@ def test_figure12(benchmark):
     assert fig.bar("LAZY-sp").shift_overhead < 0.08
     assert fig.bar("DOM-sp").shift_overhead < 0.15
     # and the best schemes improve over the Figure 11 configuration
-    fig11 = figure11(count=SUITE_COUNT, trip=TRIP)
+    fig11 = figure11(count=SUITE_COUNT, trip=TRIP, jobs=JOBS, backend=BACKEND)
     assert fig.bar("LAZY-pc").total < fig11.bar("LAZY-pc").total
     assert fig.bar("DOM-sp").total <= fig11.bar("DOM-sp").total + 1e-9
     # eager cannot benefit (it never delays shifts), zero is untouched

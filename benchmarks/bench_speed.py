@@ -1,0 +1,162 @@
+"""Wall-clock comparison of the two execution backends (``BENCH_interp.json``).
+
+Two measurements over a fixed, seeded Figure-11 sweep:
+
+* **engine time** — ``backend.run()`` alone on pre-simdized programs
+  and pre-filled memories, bytes vs numpy.  This isolates the vector
+  interpreter, where the batched backend collapses the steady loop
+  into O(statements) NumPy calls; the acceptance bar is a >= 10x
+  speedup at paper-scale trip counts.
+* **sweep time** — the end-to-end ``measure_many`` pipeline
+  (synthesize + simdize + scalar reference + vector run + verify)
+  serial vs multi-process.  Recorded for information only: the scalar
+  reference is pure Python and dominates, which is exactly why the
+  ``jobs`` knob exists.
+
+Results land in ``BENCH_interp.json`` at the repo root and in
+``benchmarks/results/speed.*.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import random
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench import SweepConfig, figure_configs, measure_many
+from repro.bench.runner import _cached_simdize
+from repro.bench.synth import synthesize
+from repro.machine import get_backend, numpy_available
+from repro.machine.scalar import RunBindings
+from repro.simdize.verify import fill_random, make_space
+
+from conftest import FULL, record
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Fixed workload: every Figure-11 scheme bar, a couple of loops each,
+#: at a paper-scale trip count so the steady loop dominates.
+SPEED_COUNT = 3 if FULL else 2
+SPEED_TRIP = 2039
+SWEEP_TRIP = 257
+ROUNDS = 3
+
+
+@dataclass
+class _Workload:
+    label: str
+    program: object
+    space: object
+    mem: object
+    bindings: RunBindings
+
+
+def _build_workloads() -> list[_Workload]:
+    workloads = []
+    for label, config in figure_configs(False, count=SPEED_COUNT,
+                                        trip=SPEED_TRIP):
+        syn = synthesize(config.params, config.seed, config.V)
+        result = _cached_simdize(syn.loop, config.V, config.options)
+        rng = random.Random(config.seed ^ 0x5EED)
+        space = make_space(syn.loop, config.V, rng, syn.base_residues)
+        mem = space.make_memory()
+        fill_random(space, mem, rng)
+        trip = SPEED_TRIP if syn.loop.runtime_upper else None
+        workloads.append(_Workload(label, result.program, space, mem,
+                                   RunBindings(trip=trip)))
+    return workloads
+
+
+def _time_engine(engine, workloads: list[_Workload]) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        mems = [w.mem.clone() for w in workloads]
+        start = time.perf_counter()
+        for w, mem in zip(workloads, mems):
+            engine.run(w.program, w.space, mem, w.bindings)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_sweep(configs: list[SweepConfig], jobs: int) -> float:
+    start = time.perf_counter()
+    measure_many(configs, jobs=jobs)
+    return time.perf_counter() - start
+
+
+def test_backend_speed():
+    pytest.importorskip("numpy")
+    assert numpy_available()
+
+    workloads = _build_workloads()
+    bytes_engine = get_backend("bytes")
+    numpy_engine = get_backend("numpy")
+
+    # Sanity: both engines produce identical memory on one workload.
+    probe = workloads[0]
+    mem_b, mem_n = probe.mem.clone(), probe.mem.clone()
+    bytes_engine.run(probe.program, probe.space, mem_b, probe.bindings)
+    numpy_engine.run(probe.program, probe.space, mem_n, probe.bindings)
+    assert mem_b.snapshot() == mem_n.snapshot()
+
+    bytes_s = _time_engine(bytes_engine, workloads)
+    numpy_s = _time_engine(numpy_engine, workloads)
+    speedup = bytes_s / numpy_s
+
+    sweep_configs = [
+        c for _, c in figure_configs(False, count=SPEED_COUNT, trip=SWEEP_TRIP)
+    ]
+    # At least 2 so the ProcessPoolExecutor path always runs; on a
+    # single-core host this records honest pool overhead, not a gain.
+    jobs_n = max(2, min(4, os.cpu_count() or 1))
+    sweep_serial_s = _time_sweep(sweep_configs, jobs=1)
+    sweep_parallel_s = _time_sweep(sweep_configs, jobs=jobs_n)
+
+    payload = {
+        "benchmark": "figure11-sweep interpreter wall clock",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "programs": len(workloads),
+            "loops_per_scheme": SPEED_COUNT,
+            "trip": SPEED_TRIP,
+            "rounds": ROUNDS,
+        },
+        "engine_run": {
+            "bytes_s": round(bytes_s, 4),
+            "numpy_s": round(numpy_s, 4),
+            "speedup": round(speedup, 2),
+        },
+        "sweep_end_to_end": {
+            "configs": len(sweep_configs),
+            "trip": SWEEP_TRIP,
+            "jobs": jobs_n,
+            "serial_s": round(sweep_serial_s, 4),
+            "parallel_s": round(sweep_parallel_s, 4),
+            "speedup": round(sweep_serial_s / sweep_parallel_s, 2),
+        },
+    }
+    (ROOT / "BENCH_interp.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"engine.run over {len(workloads)} programs (trip {SPEED_TRIP}, "
+        f"best of {ROUNDS}):",
+        f"  bytes  {bytes_s:8.4f} s",
+        f"  numpy  {numpy_s:8.4f} s   ({speedup:.1f}x)",
+        f"measure_many over {len(sweep_configs)} configs (trip {SWEEP_TRIP}):",
+        f"  jobs=1 {sweep_serial_s:8.4f} s",
+        f"  jobs={jobs_n} {sweep_parallel_s:7.4f} s   "
+        f"({sweep_serial_s / sweep_parallel_s:.1f}x)",
+    ]
+    record("speed", "\n".join(lines))
+
+    # The acceptance bar: batched execution is an order of magnitude
+    # faster than the byte interpreter at paper-scale trip counts.
+    assert speedup >= 10.0, f"numpy backend only {speedup:.1f}x faster"

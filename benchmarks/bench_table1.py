@@ -16,12 +16,12 @@ closely (they are layout-determined, not machine-determined).
 
 from repro.bench import table1
 
-from conftest import SUITE_COUNT, TRIP, record
+from conftest import BACKEND, JOBS, SUITE_COUNT, TRIP, record
 
 
 def test_table1(benchmark):
     result = benchmark.pedantic(
-        table1, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        table1, kwargs=dict(count=SUITE_COUNT, trip=TRIP, jobs=JOBS, backend=BACKEND),
         rounds=1, iterations=1,
     )
     record("table1", result.format())

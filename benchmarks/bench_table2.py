@@ -16,12 +16,12 @@ below the peak of 8.
 
 from repro.bench import table2
 
-from conftest import SUITE_COUNT, TRIP, record
+from conftest import BACKEND, JOBS, SUITE_COUNT, TRIP, record
 
 
 def test_table2(benchmark):
     result = benchmark.pedantic(
-        table2, kwargs=dict(count=SUITE_COUNT, trip=TRIP),
+        table2, kwargs=dict(count=SUITE_COUNT, trip=TRIP, jobs=JOBS, backend=BACKEND),
         rounds=1, iterations=1,
     )
     record("table2", result.format())

@@ -29,6 +29,12 @@ SUITE_COUNT = 50 if FULL else 6
 TRIP = 997 if FULL else 257
 COVERAGE_COUNT = 1000 if FULL else 120
 
+#: Sweep execution knobs: worker processes and execution backend.
+#: OPD numbers are invariant to both (see DESIGN.md §5); these only
+#: change how fast the regeneration runs.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+BACKEND = os.environ.get("REPRO_BACKEND", "auto")
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 

@@ -38,7 +38,17 @@ import random
 from repro.errors import SimdalError
 from repro.ir import LoopBuilder, Loop, figure1_loop
 from repro.lang import compile_source, simdize_source
-from repro.machine import ArraySpace, Memory, RunBindings, run_scalar, run_vector
+from repro.machine import (
+    ArraySpace,
+    BACKEND_CHOICES,
+    ExecutionBackend,
+    Memory,
+    RunBindings,
+    get_backend,
+    numpy_available,
+    run_scalar,
+    run_vector,
+)
 from repro.simdize import (
     EquivalenceReport,
     SimdOptions,
@@ -56,6 +66,7 @@ __all__ = [
     "SimdalError", "LoopBuilder", "Loop", "figure1_loop",
     "compile_source", "simdize_source",
     "ArraySpace", "Memory", "RunBindings", "run_scalar", "run_vector",
+    "BACKEND_CHOICES", "ExecutionBackend", "get_backend", "numpy_available",
     "EquivalenceReport", "SimdOptions", "SimdizeResult", "fill_random",
     "make_space", "simdize", "verify_equivalence",
     "VProgram", "format_program",
@@ -68,6 +79,7 @@ def run_and_verify(
     seed: int = 0,
     trip: int | None = None,
     scalars: dict[str, int] | None = None,
+    backend: str = "auto",
 ) -> EquivalenceReport:
     """Execute a simdized program on random data and verify it.
 
@@ -75,6 +87,7 @@ def run_and_verify(
     runtime-aligned ones), fills them with random element values, runs
     both the scalar reference and the vector program, checks the
     memories are byte-identical, and returns the operation counts.
+    ``backend`` picks the vector engine (``auto``/``bytes``/``numpy``).
     """
     rng = random.Random(seed)
     loop = program.source
@@ -82,4 +95,4 @@ def run_and_verify(
     mem = space.make_memory()
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=trip, scalars=scalars or {})
-    return verify_equivalence(program, space, mem, bindings)
+    return verify_equivalence(program, space, mem, bindings, backend=backend)

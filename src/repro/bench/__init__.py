@@ -9,9 +9,23 @@ from repro.bench.ablation import (
     unroll_ablation,
 )
 from repro.bench.coverage import CoverageResult, coverage_sweep
-from repro.bench.figures import FigureBar, FigureResult, figure, figure11, figure12
+from repro.bench.figures import (
+    FigureBar,
+    FigureResult,
+    figure,
+    figure11,
+    figure12,
+    figure_configs,
+)
 from repro.bench.lowerbound import LowerBound, lower_bound, peak_speedup, seq_opd
-from repro.bench.runner import Measurement, SuiteResult, measure_loop, measure_suite
+from repro.bench.runner import (
+    Measurement,
+    SuiteResult,
+    SweepConfig,
+    measure_loop,
+    measure_many,
+    measure_suite,
+)
 from repro.bench.synth import (
     MAX_OFFSET,
     SynthParams,
@@ -33,8 +47,10 @@ __all__ = [
     "peeling_ablation", "reuse_ablation", "unroll_ablation",
     "CoverageResult", "coverage_sweep",
     "FigureBar", "FigureResult", "figure", "figure11", "figure12",
+    "figure_configs",
     "LowerBound", "lower_bound", "peak_speedup", "seq_opd",
-    "Measurement", "SuiteResult", "measure_loop", "measure_suite",
+    "Measurement", "SuiteResult", "SweepConfig", "measure_loop",
+    "measure_many", "measure_suite",
     "MAX_OFFSET", "SynthParams", "SynthesizedLoop", "synthesize",
     "synthesize_suite",
     "TABLE_ROWS", "TableResult", "TableRow", "measure_row", "table1", "table2",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.runner import SuiteResult, measure_suite
+from repro.bench.runner import SuiteResult, SweepConfig, measure_many
 from repro.bench.synth import SynthParams, synthesize_suite
 from repro.ir.types import INT32
 from repro.simdize.options import SimdOptions
@@ -93,6 +93,43 @@ def _bar(result: SuiteResult, label: str) -> FigureBar:
     )
 
 
+def figure_configs(
+    offset_reassoc: bool,
+    count: int = 50,
+    trip: int = 997,
+    V: int = 16,
+    base_seed: int = 0,
+    unroll: int = FIGURE_UNROLL,
+    loads: int = 6,
+) -> list[tuple[str, SweepConfig]]:
+    """Every (bar label, sweep config) pair of a Figure 11/12 run.
+
+    Exposed separately so callers (the speed benchmark, external
+    sweeps) can schedule the exact figure workload themselves.
+    """
+    ct_params = SynthParams(loads=loads, statements=1, trip=trip,
+                            bias=0.3, reuse=0.3, dtype=INT32)
+    rt_params = SynthParams(loads=loads, statements=1, trip=trip, bias=0.3,
+                            reuse=0.3, dtype=INT32, runtime_alignment=True)
+    labelled: list[tuple[str, SweepConfig]] = []
+    for label, policy, reuse in FIGURE_SCHEMES:
+        options = SimdOptions(policy=policy, reuse=reuse,
+                              offset_reassoc=offset_reassoc, unroll=unroll)
+        for k in range(count):
+            labelled.append(
+                (label, SweepConfig(ct_params, base_seed + k, options, V, label))
+            )
+    for reuse in ("pc", "sp"):
+        label = f"ZERO-{reuse}(runtime)"
+        options = SimdOptions(policy="zero", reuse=reuse,
+                              offset_reassoc=offset_reassoc, unroll=unroll)
+        for k in range(count):
+            labelled.append(
+                (label, SweepConfig(rt_params, base_seed + k, options, V, label))
+            )
+    return labelled
+
+
 def figure(
     offset_reassoc: bool,
     count: int = 50,
@@ -101,29 +138,30 @@ def figure(
     base_seed: int = 0,
     unroll: int = FIGURE_UNROLL,
     loads: int = 6,
+    jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
-    """Measure every Figure 11/12 scheme bar."""
+    """Measure every Figure 11/12 scheme bar.
+
+    All (scheme × loop) configurations go through one
+    :func:`~repro.bench.runner.measure_many` call, so ``jobs > 1``
+    parallelizes across the whole figure, not per bar.
+    """
+    labelled = figure_configs(offset_reassoc, count, trip, V, base_seed,
+                              unroll, loads)
+    measurements = measure_many([c for _, c in labelled], jobs=jobs,
+                                backend=backend)
+    by_label: dict[str, list] = {}
+    for (label, _), m in zip(labelled, measurements):
+        by_label.setdefault(label, []).append(m)
+    bars = [
+        _bar(SuiteResult(scheme=label, measurements=ms), label)
+        for label, ms in by_label.items()
+    ]
+
     params = SynthParams(loads=loads, statements=1, trip=trip,
                          bias=0.3, reuse=0.3, dtype=INT32)
     suite = synthesize_suite(params, count, base_seed, V)
-    rt_suite = synthesize_suite(
-        SynthParams(loads=loads, statements=1, trip=trip, bias=0.3,
-                    reuse=0.3, dtype=INT32, runtime_alignment=True),
-        count, base_seed, V,
-    )
-
-    bars: list[FigureBar] = []
-    for label, policy, reuse in FIGURE_SCHEMES:
-        options = SimdOptions(policy=policy, reuse=reuse,
-                              offset_reassoc=offset_reassoc, unroll=unroll)
-        bars.append(_bar(measure_suite(suite, options, V, scheme=label), label))
-
-    for reuse in ("pc", "sp"):
-        label = f"ZERO-{reuse}(runtime)"
-        options = SimdOptions(policy="zero", reuse=reuse,
-                              offset_reassoc=offset_reassoc, unroll=unroll)
-        bars.append(_bar(measure_suite(rt_suite, options, V, scheme=label), label))
-
     title = (
         "Figure 12: operations per datum (OffsetReassoc ON)"
         if offset_reassoc

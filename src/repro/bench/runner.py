@@ -6,19 +6,47 @@ the scalar reference and the vector program on identical random
 memories, *verifies byte equality*, and reports the paper's metrics
 (operations per datum, dynamic-instruction speedup, and the Figure 11
 three-component breakdown: LB / shift overhead / remaining overhead).
+
+Two throughput levers sit on top:
+
+* :func:`simdize` results are memoized per process, keyed on the
+  loop's structural :meth:`~repro.ir.expr.Loop.signature` plus the
+  ``(V, SimdOptions)`` pair — policy ablations re-lowering the same
+  front end hit the cache;
+* :func:`measure_many` fans :class:`SweepConfig` descriptions out over
+  a ``ProcessPoolExecutor``.  Configs carry synthesis parameters and
+  seeds rather than loop objects, so every worker re-synthesizes its
+  loops deterministically and results are independent of worker count.
 """
 
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
-from repro.bench.synth import SynthesizedLoop
+from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize
 from repro.machine.scalar import RunBindings
-from repro.simdize.driver import simdize
+from repro.simdize.driver import SimdizeResult, simdize
 from repro.simdize.options import SimdOptions
 from repro.simdize.verify import fill_random, make_space, verify_equivalence
+
+#: Per-process simdize memo: (loop signature, V, options) -> result.
+#: Bounded FIFO so unbounded sweeps cannot grow it without limit.
+_SIMDIZE_CACHE: dict[tuple[str, int, SimdOptions], SimdizeResult] = {}
+_SIMDIZE_CACHE_MAX = 512
+
+
+def _cached_simdize(loop, V: int, options: SimdOptions) -> SimdizeResult:
+    key = (loop.signature(), V, options)
+    result = _SIMDIZE_CACHE.get(key)
+    if result is None:
+        result = simdize(loop, V, options)
+        if len(_SIMDIZE_CACHE) >= _SIMDIZE_CACHE_MAX:
+            _SIMDIZE_CACHE.pop(next(iter(_SIMDIZE_CACHE)))
+        _SIMDIZE_CACHE[key] = result
+    return result
 
 
 @dataclass
@@ -62,17 +90,18 @@ def measure_loop(
     V: int = 16,
     seed: int = 0,
     scheme: str | None = None,
+    backend: str = "auto",
 ) -> Measurement:
     """Simdize + run + verify one synthesized loop under one scheme."""
     loop = syn.loop
     rng = random.Random(seed ^ 0x5EED)
-    result = simdize(loop, V, options)
+    result = _cached_simdize(loop, V, options)
 
     space = make_space(loop, V, rng, syn.base_residues)
     mem = space.make_memory()
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=syn.params.trip if loop.runtime_upper else None)
-    report = verify_equivalence(result.program, space, mem, bindings)
+    report = verify_equivalence(result.program, space, mem, bindings, backend=backend)
 
     lb = lower_bound(
         loop,
@@ -155,10 +184,69 @@ def measure_suite(
     options: SimdOptions,
     V: int = 16,
     scheme: str | None = None,
+    jobs: int = 1,
+    backend: str = "auto",
 ) -> SuiteResult:
     """Measure every loop of a suite under one scheme."""
-    measurements = [
-        measure_loop(syn, options, V, seed=syn.seed, scheme=scheme)
-        for syn in suite
-    ]
+    if jobs > 1:
+        configs = [
+            SweepConfig(syn.params, syn.seed, options, V, scheme) for syn in suite
+        ]
+        measurements = measure_many(configs, jobs=jobs, backend=backend)
+    else:
+        measurements = [
+            measure_loop(syn, options, V, seed=syn.seed, scheme=scheme,
+                         backend=backend)
+            for syn in suite
+        ]
     return SuiteResult(scheme=measurements[0].scheme, measurements=measurements)
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweeps
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One self-contained measurement job.
+
+    Carries synthesis parameters and the seed instead of the loop
+    object: :func:`~repro.bench.synth.synthesize` is deterministic in
+    ``(params, seed, V)``, so any worker process reconstructs exactly
+    the loop — and the random data seeds derive from ``seed`` — making
+    sweep results identical for any worker count, one or many.
+    """
+
+    params: SynthParams
+    seed: int
+    options: SimdOptions
+    V: int = 16
+    scheme: str | None = None
+
+
+def _measure_sweep_config(job: tuple[SweepConfig, str]) -> Measurement:
+    """Worker entry point: re-synthesize, then measure (picklable, module-level)."""
+    config, backend = job
+    syn = synthesize(config.params, config.seed, config.V)
+    return measure_loop(syn, config.options, config.V, seed=config.seed,
+                        scheme=config.scheme, backend=backend)
+
+
+def measure_many(
+    configs: list[SweepConfig],
+    jobs: int = 1,
+    backend: str = "auto",
+) -> list[Measurement]:
+    """Measure many sweep configs, optionally fanned over processes.
+
+    Results are returned in input order.  ``jobs <= 1`` runs serially in
+    this process (and benefits from the shared simdize memo); larger
+    ``jobs`` uses a ``ProcessPoolExecutor``, each worker keeping its own
+    memo.  Determinism is per-config (seeded), not per-schedule.
+    """
+    work = [(config, backend) for config in configs]
+    if jobs <= 1 or len(configs) <= 1:
+        return [_measure_sweep_config(job) for job in work]
+    chunksize = max(1, len(work) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_measure_sweep_config, work, chunksize=chunksize))

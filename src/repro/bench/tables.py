@@ -96,6 +96,8 @@ def measure_row(
     V: int = 16,
     base_seed: int = 0,
     unroll: int = BENCH_UNROLL,
+    jobs: int = 1,
+    backend: str = "auto",
 ) -> TableRow:
     """Measure one ``S{s}*L{l}`` row under every candidate scheme."""
     common = dict(loads=loads, statements=statements, trip=trip,
@@ -109,13 +111,15 @@ def measure_row(
     for policy, reuse in COMPILE_TIME_SCHEMES:
         label = _scheme_label(policy, reuse)
         options = SimdOptions(policy=policy, reuse=reuse, unroll=unroll)
-        all_compile[label] = measure_suite(ct_suite, options, V, scheme=label)
+        all_compile[label] = measure_suite(ct_suite, options, V, scheme=label,
+                                           jobs=jobs, backend=backend)
 
     all_runtime: dict[str, SuiteResult] = {}
     for policy, reuse in RUNTIME_SCHEMES:
         label = _scheme_label(policy, reuse)
         options = SimdOptions(policy=policy, reuse=reuse, unroll=unroll)
-        all_runtime[label] = measure_suite(rt_suite, options, V, scheme=label)
+        all_runtime[label] = measure_suite(rt_suite, options, V, scheme=label,
+                                           jobs=jobs, backend=backend)
 
     best_ct = max(all_compile.values(), key=lambda r: r.speedup)
     best_rt = max(all_runtime.values(), key=lambda r: r.speedup)
@@ -129,10 +133,12 @@ def measure_row(
 
 
 def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
-           unroll: int = BENCH_UNROLL) -> TableResult:
+           unroll: int = BENCH_UNROLL, jobs: int = 1,
+           backend: str = "auto") -> TableResult:
     """Table 1: speedups with 4 int32 elements per 16-byte register."""
     rows = [
-        measure_row(s, l, INT32, count, trip, 16, base_seed, unroll)
+        measure_row(s, l, INT32, count, trip, 16, base_seed, unroll,
+                    jobs=jobs, backend=backend)
         for s, l in TABLE_ROWS
     ]
     return TableResult(
@@ -143,10 +149,12 @@ def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
 
 
 def table2(count: int = 50, trip: int = 997, base_seed: int = 0,
-           unroll: int = BENCH_UNROLL) -> TableResult:
+           unroll: int = BENCH_UNROLL, jobs: int = 1,
+           backend: str = "auto") -> TableResult:
     """Table 2: speedups with 8 int16 elements per 16-byte register."""
     rows = [
-        measure_row(s, l, INT16, count, trip, 16, base_seed, unroll)
+        measure_row(s, l, INT16, count, trip, 16, base_seed, unroll,
+                    jobs=jobs, backend=backend)
         for s, l in TABLE_ROWS
     ]
     return TableResult(

@@ -93,7 +93,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = simdize(loop, args.V, _options(args))
     trip, scalars = _bindings(args)
     report = run_and_verify(result.program, seed=args.seed, trip=trip,
-                            scalars=scalars)
+                            scalars=scalars, backend=args.exec_backend)
     print(f"verified: simdized execution matches scalar semantics "
           f"(trip {report.trip})")
     print(f"policy {result.policy}, static stream shifts {result.shift_count}")
@@ -166,11 +166,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import coverage_sweep, figure11, figure12, table1, table2
 
+    sweep = dict(count=args.count, trip=args.trip_count, jobs=args.jobs,
+                 backend=args.exec_backend)
     builders = {
-        "table1": lambda: table1(count=args.count, trip=args.trip_count),
-        "table2": lambda: table2(count=args.count, trip=args.trip_count),
-        "fig11": lambda: figure11(count=args.count, trip=args.trip_count),
-        "fig12": lambda: figure12(count=args.count, trip=args.trip_count),
+        "table1": lambda: table1(**sweep),
+        "table2": lambda: table2(**sweep),
+        "fig11": lambda: figure11(**sweep),
+        "fig12": lambda: figure12(**sweep),
         "coverage": lambda: coverage_sweep(count=args.count * 10),
     }
     result = builders[args.name]()
@@ -203,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set", action="append", metavar="NAME=VALUE",
                    help="bind a runtime scalar")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="auto", dest="exec_backend",
+                   choices=["auto", "bytes", "numpy"],
+                   help="execution engine (auto = numpy when available)")
     _add_simd_options(p)
     p.set_defaults(func=cmd_run)
 
@@ -232,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="loops per suite (paper uses 50)")
     p.add_argument("--trip-count", type=int, default=509,
                    help="loop trip count (paper uses ~1000)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep (1 = serial)")
+    p.add_argument("--backend", default="auto", dest="exec_backend",
+                   choices=["auto", "bytes", "numpy"],
+                   help="execution engine (auto = numpy when available)")
     p.set_defaults(func=cmd_bench)
 
     return parser

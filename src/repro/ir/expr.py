@@ -280,6 +280,24 @@ class Loop:
         """True when any referenced array has a runtime-only base alignment."""
         return any(arr.runtime_aligned for arr in self.arrays())
 
+    def signature(self) -> str:
+        """A stable structural key for memoizing work keyed on this loop.
+
+        Two loops with equal signatures simdize identically: the
+        signature captures the trip bound, every array's type/extent/
+        alignment class, the statement bodies, and the declared runtime
+        scalars — everything the simdizer reads.  Concrete runtime
+        residues and data values are deliberately excluded (the
+        simdizer never sees them).
+        """
+        arrays = ";".join(
+            f"{a.name}:{a.dtype.name}:{a.length}:"
+            f"{'rt' if a.align is None else a.align}"
+            for a in self.arrays()
+        )
+        stmts = "|".join(str(s) for s in self.statements)
+        return f"{self.upper}§{arrays}§{stmts}§{','.join(self.scalar_vars)}"
+
     def min_index(self) -> int:
         """Smallest element offset referenced (may be negative)."""
         return min(ref.offset for stmt in self.statements for ref in stmt.refs())

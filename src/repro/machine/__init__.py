@@ -1,6 +1,14 @@
 """Virtual SIMD machine: memory, arrays, vector semantics, interpreters."""
 
 from repro.machine.arrays import ArraySpace, BoundArray, GUARD_VECTORS
+from repro.machine.backend import (
+    BACKEND_CHOICES,
+    BytesBackend,
+    ExecutionBackend,
+    default_backend_name,
+    get_backend,
+    numpy_available,
+)
 from repro.machine.counters import OpCounters
 from repro.machine.interp import VectorRunResult, run_vector
 from repro.machine.memory import Memory
@@ -16,6 +24,8 @@ from repro.machine.vector import from_lanes, lanes, vbinop, vshiftpair, vsplat, 
 
 __all__ = [
     "ArraySpace", "BoundArray", "GUARD_VECTORS", "OpCounters",
+    "BACKEND_CHOICES", "BytesBackend", "ExecutionBackend",
+    "default_backend_name", "get_backend", "numpy_available",
     "VectorRunResult", "run_vector", "Memory", "RunBindings",
     "ScalarRunResult", "ideal_scalar_opd", "ideal_scalar_ops", "run_scalar",
     "from_lanes", "lanes", "vbinop", "vshiftpair", "vsplat", "vsplice",

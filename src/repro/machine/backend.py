@@ -1,0 +1,112 @@
+"""Execution-backend protocol and registry.
+
+Two engines interpret the same :class:`~repro.vir.program.VProgram`:
+
+* ``bytes`` — the byte-level reference interpreter
+  (:mod:`repro.machine.interp`).  Pure Python, zero dependencies, and
+  the semantic oracle every other engine must match byte-for-byte.
+* ``numpy`` — the batched array backend
+  (:mod:`repro.machine.npbackend`), which executes the steady-state
+  loop as whole-array NumPy operations.  Orders of magnitude faster on
+  long trip counts, and only available when ``numpy`` is installed
+  (the ``repro[fast]`` extra).
+
+``"auto"`` resolves to ``numpy`` when available and falls back to
+``bytes`` otherwise, so the package keeps working with no hard
+dependency beyond the standard library.
+
+Both engines must produce identical final memory images **and**
+identical :class:`~repro.machine.counters.OpCounters` — the cost model
+counts operations of the *program*, not of the engine executing it
+(see ``DESIGN.md`` §5).  ``tests/test_differential.py`` enforces this
+equivalence property over random synthesized loops.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import MachineError
+from repro.machine.arrays import ArraySpace
+from repro.machine.interp import VectorRunResult, run_vector
+from repro.machine.memory import Memory
+from repro.machine.scalar import RunBindings
+from repro.machine.trace import Trace
+from repro.vir.program import VProgram
+
+#: Names accepted wherever a backend is selected (CLI, verify, bench).
+BACKEND_CHOICES = ("auto", "bytes", "numpy")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can execute a vector program on a machine state."""
+
+    name: str
+
+    def run(
+        self,
+        program: VProgram,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+        trace: Trace | None = None,
+    ) -> VectorRunResult:
+        """Execute ``program`` on ``mem``; return dynamic operation counts."""
+        ...  # pragma: no cover - protocol
+
+
+class BytesBackend:
+    """The byte-level reference interpreter, wrapped as a backend."""
+
+    name = "bytes"
+
+    def run(
+        self,
+        program: VProgram,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+        trace: Trace | None = None,
+    ) -> VectorRunResult:
+        return run_vector(program, space, mem, bindings, trace)
+
+
+def numpy_available() -> bool:
+    """True when the optional ``numpy`` dependency can be imported."""
+    try:
+        import numpy  # noqa: F401
+    except Exception:  # pragma: no cover - import failure path
+        return False
+    return True
+
+
+def default_backend_name() -> str:
+    """The backend ``"auto"`` resolves to on this interpreter."""
+    return "numpy" if numpy_available() else "bytes"
+
+
+def get_backend(name: str = "auto") -> ExecutionBackend:
+    """Resolve a backend name to an engine instance.
+
+    ``"auto"`` prefers the NumPy backend and silently falls back to the
+    byte interpreter when NumPy is unavailable; asking for ``"numpy"``
+    explicitly raises instead, so a user who forced the fast path finds
+    out it is missing.
+    """
+    if name == "auto":
+        name = default_backend_name()
+    if name == "bytes":
+        return BytesBackend()
+    if name == "numpy":
+        if not numpy_available():
+            raise MachineError(
+                "the numpy execution backend needs numpy installed "
+                "(pip install 'repro[fast]'); use backend='bytes' or 'auto'"
+            )
+        from repro.machine.npbackend import NumpyBackend
+
+        return NumpyBackend()
+    raise MachineError(
+        f"unknown execution backend {name!r}; choose from {BACKEND_CHOICES}"
+    )

@@ -50,6 +50,16 @@ class Memory:
 
     # -- helpers ---------------------------------------------------------
 
+    def raw(self) -> bytearray:
+        """The live backing store, shared (not copied).
+
+        Execution backends that wrap the memory in typed array views
+        (e.g. a NumPy ``uint8`` view) use this to mutate the same bytes
+        the byte-level accessors see, so both access paths stay
+        coherent within one run.
+        """
+        return self._data
+
     def snapshot(self) -> bytes:
         """An immutable copy of the whole memory, for equivalence checks."""
         return bytes(self._data)

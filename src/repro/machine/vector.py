@@ -50,16 +50,31 @@ def vsplice(v1: bytes, v2: bytes, point: int, V: int) -> bytes:
 
 
 def vbinop(op: BinaryOp, v1: bytes, v2: bytes, dtype: DataType, V: int) -> bytes:
-    """Apply ``op`` lane-wise to two vectors of ``dtype`` elements."""
+    """Apply ``op`` lane-wise to two vectors of ``dtype`` elements.
+
+    Each whole vector is decoded with a single ``int.from_bytes`` and
+    lanes are extracted by shift-and-mask, instead of slicing and
+    re-encoding ``V / D`` byte substrings per call.
+    """
     _check_vec(v1, V)
     _check_vec(v2, V)
-    D = dtype.size
-    out = bytearray(V)
-    for k in range(0, V, D):
-        a = dtype.from_bytes(v1[k:k + D])
-        b = dtype.from_bytes(v2[k:k + D])
-        out[k:k + D] = dtype.to_bytes(op.apply(a, b, dtype))
-    return bytes(out)
+    whole1 = int.from_bytes(v1, "little")
+    whole2 = int.from_bytes(v2, "little")
+    bits = dtype.bits
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    signed = dtype.signed
+    out = 0
+    for k in range(0, 8 * V, bits):
+        a = (whole1 >> k) & mask
+        b = (whole2 >> k) & mask
+        if signed:
+            if a & sign_bit:
+                a -= mask + 1
+            if b & sign_bit:
+                b -= mask + 1
+        out |= (op.apply(a, b, dtype) & mask) << k
+    return out.to_bytes(V, "little")
 
 
 def lanes(vec: bytes, dtype: DataType) -> list[int]:

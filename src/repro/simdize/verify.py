@@ -17,8 +17,8 @@ import random
 from repro.errors import VerificationError
 from repro.ir.expr import Loop
 from repro.machine.arrays import ArraySpace
+from repro.machine.backend import ExecutionBackend, get_backend
 from repro.machine.counters import OpCounters
-from repro.machine.interp import run_vector
 from repro.machine.memory import Memory
 from repro.machine.scalar import RunBindings, run_scalar
 from repro.vir.program import VProgram
@@ -87,15 +87,23 @@ def verify_equivalence(
     space: ArraySpace,
     mem: Memory,
     bindings: RunBindings | None = None,
+    backend: str | ExecutionBackend = "auto",
 ) -> EquivalenceReport:
-    """Run both executions on clones of ``mem``; raise on any mismatch."""
+    """Run both executions on clones of ``mem``; raise on any mismatch.
+
+    ``backend`` selects the vector execution engine (a name accepted by
+    :func:`repro.machine.backend.get_backend`, or an engine instance).
+    Counters and memory are backend-invariant, so the report is the
+    same whichever engine ran — only the wall-clock differs.
+    """
     bindings = bindings or RunBindings()
     loop = program.source
+    engine = get_backend(backend) if isinstance(backend, str) else backend
 
     scalar_mem = mem.clone()
     vector_mem = mem.clone()
     scalar_result = run_scalar(loop, space, scalar_mem, bindings)
-    vector_result = run_vector(program, space, vector_mem, bindings)
+    vector_result = engine.run(program, space, vector_mem, bindings)
 
     if scalar_mem.snapshot() != vector_mem.snapshot():
         detail = _first_mismatch(scalar_mem, vector_mem, space)

@@ -1,0 +1,104 @@
+"""Lane-boundary unit tests for the vector ALU (``vector.vbinop``).
+
+``vbinop`` decodes each vector with one ``int.from_bytes`` and slices
+lanes by shifting — the easy bugs are at lane boundaries: a carry from
+``INT8_MAX + 1`` leaking into the neighbouring lane, sign-extension of
+negative lanes, or saturation clamping at the wrong width.  Every
+BinaryOp × DataType pair is exercised on vectors built from the
+extreme values of the type, checked lane-by-lane against the scalar
+``op.apply`` semantics.
+"""
+
+import pytest
+
+from repro.ir.types import ALL_OPS, ALL_TYPES, ADD, AVG, MUL, SADD, SSUB, SUB
+from repro.machine.vector import vbinop
+
+V = 16
+
+
+def boundary_lanes(dtype):
+    """Adversarial lane values: extremes, around zero, alternating."""
+    lo, hi = dtype.min_value, dtype.max_value
+    base = [hi, lo, hi, lo, -1 if dtype.signed else hi, 1, 0, hi - 1]
+    return [dtype.wrap(v) for v in base]
+
+
+def pack(dtype, values):
+    lanes = V // dtype.size
+    vals = (values * lanes)[:lanes]
+    return b"".join(dtype.to_bytes(v) for v in vals), vals
+
+
+def unpack(dtype, data):
+    return [
+        dtype.from_bytes(data[k:k + dtype.size])
+        for k in range(0, V, dtype.size)
+    ]
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+@pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+def test_boundary_lanes_match_scalar_semantics(op, dtype):
+    v1, lanes1 = pack(dtype, boundary_lanes(dtype))
+    v2, lanes2 = pack(dtype, list(reversed(boundary_lanes(dtype))))
+    out = vbinop(op, v1, v2, dtype, V)
+    assert len(out) == V
+    expected = [op.apply(a, b, dtype) for a, b in zip(lanes1, lanes2)]
+    assert unpack(dtype, out) == expected
+
+
+class TestCarryIsolation:
+    """Overflow in one lane must never leak into its neighbour."""
+
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_max_plus_one_wraps_in_lane(self, dtype):
+        v1, _ = pack(dtype, [dtype.max_value, 0])
+        v2, _ = pack(dtype, [1, 0])
+        out = unpack(dtype, vbinop(ADD, v1, v2, dtype, V))
+        assert out[0] == dtype.wrap(dtype.max_value + 1)
+        assert out[1] == 0  # the neighbour saw no carry
+
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_min_minus_one_wraps_in_lane(self, dtype):
+        v1, _ = pack(dtype, [dtype.min_value, 0])
+        v2, _ = pack(dtype, [1, 0])
+        out = unpack(dtype, vbinop(SUB, v1, v2, dtype, V))
+        assert out[0] == dtype.wrap(dtype.min_value - 1)
+        assert out[1] == 0  # no borrow from the neighbour
+
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_mul_overflow_truncates_per_lane(self, dtype):
+        v1, lanes1 = pack(dtype, [dtype.max_value, 3])
+        v2, lanes2 = pack(dtype, [dtype.max_value, 5])
+        out = unpack(dtype, vbinop(MUL, v1, v2, dtype, V))
+        assert out[0] == dtype.wrap(dtype.max_value * dtype.max_value)
+        assert out[1] == 15
+
+
+class TestSaturationAndAverage:
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_saturating_add_clamps_at_max(self, dtype):
+        v1, _ = pack(dtype, [dtype.max_value])
+        v2, _ = pack(dtype, [dtype.max_value])
+        out = unpack(dtype, vbinop(SADD, v1, v2, dtype, V))
+        assert all(lane == dtype.max_value for lane in out)
+
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_saturating_sub_clamps_at_min(self, dtype):
+        v1, _ = pack(dtype, [dtype.min_value])
+        v2, _ = pack(dtype, [dtype.max_value])
+        out = unpack(dtype, vbinop(SSUB, v1, v2, dtype, V))
+        assert all(lane == dtype.min_value for lane in out)
+
+    @pytest.mark.parametrize("dtype", ALL_TYPES, ids=lambda t: t.name)
+    def test_average_of_extremes_does_not_overflow(self, dtype):
+        # (max + max) would overflow the lane if averaged naively
+        v1, _ = pack(dtype, [dtype.max_value])
+        v2, _ = pack(dtype, [dtype.max_value])
+        out = unpack(dtype, vbinop(AVG, v1, v2, dtype, V))
+        assert all(lane == dtype.max_value for lane in out)
+        expected = AVG.apply(dtype.min_value, dtype.max_value, dtype)
+        v2b, _ = pack(dtype, [dtype.min_value])
+        out = unpack(dtype, vbinop(AVG, v1, v2b, dtype, V))
+        assert all(lane == expected for lane in out)
