@@ -41,10 +41,13 @@ from repro.lang import compile_source, simdize_source
 from repro.machine import (
     ArraySpace,
     BACKEND_CHOICES,
+    SCALAR_BACKEND_CHOICES,
     ExecutionBackend,
     Memory,
     RunBindings,
+    ScalarBackend,
     get_backend,
+    get_scalar_backend,
     numpy_available,
     run_scalar,
     run_vector,
@@ -66,7 +69,9 @@ __all__ = [
     "SimdalError", "LoopBuilder", "Loop", "figure1_loop",
     "compile_source", "simdize_source",
     "ArraySpace", "Memory", "RunBindings", "run_scalar", "run_vector",
-    "BACKEND_CHOICES", "ExecutionBackend", "get_backend", "numpy_available",
+    "BACKEND_CHOICES", "SCALAR_BACKEND_CHOICES",
+    "ExecutionBackend", "ScalarBackend",
+    "get_backend", "get_scalar_backend", "numpy_available",
     "EquivalenceReport", "SimdOptions", "SimdizeResult", "fill_random",
     "make_space", "simdize", "verify_equivalence",
     "VProgram", "format_program",
@@ -80,6 +85,7 @@ def run_and_verify(
     trip: int | None = None,
     scalars: dict[str, int] | None = None,
     backend: str = "auto",
+    scalar_backend: str = "auto",
 ) -> EquivalenceReport:
     """Execute a simdized program on random data and verify it.
 
@@ -87,7 +93,8 @@ def run_and_verify(
     runtime-aligned ones), fills them with random element values, runs
     both the scalar reference and the vector program, checks the
     memories are byte-identical, and returns the operation counts.
-    ``backend`` picks the vector engine (``auto``/``bytes``/``numpy``).
+    ``backend`` picks the vector engine and ``scalar_backend`` the
+    scalar-reference engine (``auto``/``bytes``/``numpy`` each).
     """
     rng = random.Random(seed)
     loop = program.source
@@ -95,4 +102,5 @@ def run_and_verify(
     mem = space.make_memory()
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=trip, scalars=scalars or {})
-    return verify_equivalence(program, space, mem, bindings, backend=backend)
+    return verify_equivalence(program, space, mem, bindings, backend=backend,
+                              scalar_backend=scalar_backend)

@@ -140,6 +140,7 @@ def figure(
     loads: int = 6,
     jobs: int = 1,
     backend: str = "auto",
+    scalar_backend: str = "auto",
 ) -> FigureResult:
     """Measure every Figure 11/12 scheme bar.
 
@@ -150,7 +151,8 @@ def figure(
     labelled = figure_configs(offset_reassoc, count, trip, V, base_seed,
                               unroll, loads)
     measurements = measure_many([c for _, c in labelled], jobs=jobs,
-                                backend=backend)
+                                backend=backend,
+                                scalar_backend=scalar_backend)
     by_label: dict[str, list] = {}
     for (label, _), m in zip(labelled, measurements):
         by_label.setdefault(label, []).append(m)

@@ -91,6 +91,7 @@ def measure_loop(
     seed: int = 0,
     scheme: str | None = None,
     backend: str = "auto",
+    scalar_backend: str = "auto",
 ) -> Measurement:
     """Simdize + run + verify one synthesized loop under one scheme."""
     loop = syn.loop
@@ -101,7 +102,8 @@ def measure_loop(
     mem = space.make_memory()
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=syn.params.trip if loop.runtime_upper else None)
-    report = verify_equivalence(result.program, space, mem, bindings, backend=backend)
+    report = verify_equivalence(result.program, space, mem, bindings,
+                                backend=backend, scalar_backend=scalar_backend)
 
     lb = lower_bound(
         loop,
@@ -186,17 +188,19 @@ def measure_suite(
     scheme: str | None = None,
     jobs: int = 1,
     backend: str = "auto",
+    scalar_backend: str = "auto",
 ) -> SuiteResult:
     """Measure every loop of a suite under one scheme."""
     if jobs > 1:
         configs = [
             SweepConfig(syn.params, syn.seed, options, V, scheme) for syn in suite
         ]
-        measurements = measure_many(configs, jobs=jobs, backend=backend)
+        measurements = measure_many(configs, jobs=jobs, backend=backend,
+                                    scalar_backend=scalar_backend)
     else:
         measurements = [
             measure_loop(syn, options, V, seed=syn.seed, scheme=scheme,
-                         backend=backend)
+                         backend=backend, scalar_backend=scalar_backend)
             for syn in suite
         ]
     return SuiteResult(scheme=measurements[0].scheme, measurements=measurements)
@@ -224,29 +228,51 @@ class SweepConfig:
     scheme: str | None = None
 
 
-def _measure_sweep_config(job: tuple[SweepConfig, str]) -> Measurement:
-    """Worker entry point: re-synthesize, then measure (picklable, module-level)."""
-    config, backend = job
-    syn = synthesize(config.params, config.seed, config.V)
-    return measure_loop(syn, config.options, config.V, seed=config.seed,
-                        scheme=config.scheme, backend=backend)
+def _measure_sweep_chunk(
+    job: tuple[list[SweepConfig], str, str]
+) -> list[Measurement]:
+    """Worker entry point: re-synthesize and measure a whole chunk.
+
+    Module-level (picklable); taking a *list* of configs per task
+    amortizes the executor's per-task pickling/dispatch overhead and
+    lets consecutive configs share the worker's simdize memo.
+    """
+    chunk, backend, scalar_backend = job
+    out = []
+    for config in chunk:
+        syn = synthesize(config.params, config.seed, config.V)
+        out.append(measure_loop(syn, config.options, config.V,
+                                seed=config.seed, scheme=config.scheme,
+                                backend=backend,
+                                scalar_backend=scalar_backend))
+    return out
 
 
 def measure_many(
     configs: list[SweepConfig],
     jobs: int = 1,
     backend: str = "auto",
+    scalar_backend: str = "auto",
 ) -> list[Measurement]:
     """Measure many sweep configs, optionally fanned over processes.
 
     Results are returned in input order.  ``jobs <= 1`` runs serially in
     this process (and benefits from the shared simdize memo); larger
-    ``jobs`` uses a ``ProcessPoolExecutor``, each worker keeping its own
-    memo.  Determinism is per-config (seeded), not per-schedule.
+    ``jobs`` submits manually batched chunks to a
+    ``ProcessPoolExecutor`` — one task per chunk, ~4 chunks per worker
+    — so task pickling is amortized over many configs.  Each worker
+    keeps its own memo.  Determinism is per-config (seeded), not
+    per-schedule.
     """
-    work = [(config, backend) for config in configs]
     if jobs <= 1 or len(configs) <= 1:
-        return [_measure_sweep_config(job) for job in work]
-    chunksize = max(1, len(work) // (jobs * 4))
+        return _measure_sweep_chunk((configs, backend, scalar_backend))
+    chunksize = max(1, -(-len(configs) // (jobs * 4)))
+    chunks = [
+        (configs[i:i + chunksize], backend, scalar_backend)
+        for i in range(0, len(configs), chunksize)
+    ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_measure_sweep_config, work, chunksize=chunksize))
+        results: list[Measurement] = []
+        for chunk_result in pool.map(_measure_sweep_chunk, chunks):
+            results.extend(chunk_result)
+        return results

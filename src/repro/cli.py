@@ -93,7 +93,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = simdize(loop, args.V, _options(args))
     trip, scalars = _bindings(args)
     report = run_and_verify(result.program, seed=args.seed, trip=trip,
-                            scalars=scalars, backend=args.exec_backend)
+                            scalars=scalars, backend=args.exec_backend,
+                            scalar_backend=args.scalar_backend)
     print(f"verified: simdized execution matches scalar semantics "
           f"(trip {report.trip})")
     print(f"policy {result.policy}, static stream shifts {result.shift_count}")
@@ -103,7 +104,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"({report.vector_opd:.2f} per datum)")
     print(f"speedup      {report.speedup:>10.2f}x")
     if report.used_fallback:
-        print("note: the guarded scalar fallback ran (trip count <= 3B)")
+        print("note: the engine took a fallback path (guarded scalar run "
+              "for small trips, or per-iteration steady execution)")
     return 0
 
 
@@ -167,7 +169,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import coverage_sweep, figure11, figure12, table1, table2
 
     sweep = dict(count=args.count, trip=args.trip_count, jobs=args.jobs,
-                 backend=args.exec_backend)
+                 backend=args.exec_backend,
+                 scalar_backend=args.scalar_backend)
     builders = {
         "table1": lambda: table1(**sweep),
         "table2": lambda: table2(**sweep),
@@ -208,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto", dest="exec_backend",
                    choices=["auto", "bytes", "numpy"],
                    help="execution engine (auto = numpy when available)")
+    p.add_argument("--scalar-backend", default="auto", dest="scalar_backend",
+                   choices=["auto", "bytes", "numpy"],
+                   help="scalar-reference engine (auto = numpy when available)")
     _add_simd_options(p)
     p.set_defaults(func=cmd_run)
 
@@ -242,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto", dest="exec_backend",
                    choices=["auto", "bytes", "numpy"],
                    help="execution engine (auto = numpy when available)")
+    p.add_argument("--scalar-backend", default="auto", dest="scalar_backend",
+                   choices=["auto", "bytes", "numpy"],
+                   help="scalar-reference engine (auto = numpy when available)")
     p.set_defaults(func=cmd_bench)
 
     return parser

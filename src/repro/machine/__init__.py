@@ -3,10 +3,14 @@
 from repro.machine.arrays import ArraySpace, BoundArray, GUARD_VECTORS
 from repro.machine.backend import (
     BACKEND_CHOICES,
+    SCALAR_BACKEND_CHOICES,
     BytesBackend,
+    BytesScalarBackend,
     ExecutionBackend,
+    ScalarBackend,
     default_backend_name,
     get_backend,
+    get_scalar_backend,
     numpy_available,
 )
 from repro.machine.counters import OpCounters
@@ -18,16 +22,21 @@ from repro.machine.scalar import (
     ScalarRunResult,
     ideal_scalar_opd,
     ideal_scalar_ops,
+    reference_counters,
     run_scalar,
 )
 from repro.machine.vector import from_lanes, lanes, vbinop, vshiftpair, vsplat, vsplice
 
 __all__ = [
     "ArraySpace", "BoundArray", "GUARD_VECTORS", "OpCounters",
-    "BACKEND_CHOICES", "BytesBackend", "ExecutionBackend",
-    "default_backend_name", "get_backend", "numpy_available",
+    "BACKEND_CHOICES", "SCALAR_BACKEND_CHOICES",
+    "BytesBackend", "BytesScalarBackend",
+    "ExecutionBackend", "ScalarBackend",
+    "default_backend_name", "get_backend", "get_scalar_backend",
+    "numpy_available",
     "VectorRunResult", "run_vector", "Memory", "RunBindings",
-    "ScalarRunResult", "ideal_scalar_opd", "ideal_scalar_ops", "run_scalar",
+    "ScalarRunResult", "ideal_scalar_opd", "ideal_scalar_ops",
+    "reference_counters", "run_scalar",
     "from_lanes", "lanes", "vbinop", "vshiftpair", "vsplat", "vsplice",
     "Trace", "TraceEvent",
 ]

@@ -1,25 +1,29 @@
-"""Execution-backend protocol and registry.
+"""Execution-backend protocols and registries.
 
-Two engines interpret the same :class:`~repro.vir.program.VProgram`:
+Two *pairs* of engines interpret the same inputs:
 
-* ``bytes`` — the byte-level reference interpreter
-  (:mod:`repro.machine.interp`).  Pure Python, zero dependencies, and
-  the semantic oracle every other engine must match byte-for-byte.
-* ``numpy`` — the batched array backend
-  (:mod:`repro.machine.npbackend`), which executes the steady-state
-  loop as whole-array NumPy operations.  Orders of magnitude faster on
-  long trip counts, and only available when ``numpy`` is installed
-  (the ``repro[fast]`` extra).
+* **Vector backends** (:class:`ExecutionBackend`) execute a
+  :class:`~repro.vir.program.VProgram` — ``bytes`` is the byte-level
+  reference interpreter (:mod:`repro.machine.interp`), ``numpy`` the
+  batched array backend (:mod:`repro.machine.npbackend`).
+* **Scalar backends** (:class:`ScalarBackend`) execute the original
+  :class:`~repro.ir.expr.Loop` as the paper's byte-for-byte reference
+  — ``bytes`` is the per-iteration interpreter
+  (:func:`repro.machine.scalar.run_scalar`), ``numpy`` the whole-array
+  engine (:mod:`repro.machine.npscalar`) that evaluates each
+  statement's expression tree over shifted element windows.
 
-``"auto"`` resolves to ``numpy`` when available and falls back to
-``bytes`` otherwise, so the package keeps working with no hard
-dependency beyond the standard library.
+In both registries ``"auto"`` resolves to ``numpy`` when available and
+falls back to ``bytes`` otherwise, so the package keeps working with no
+hard dependency beyond the standard library; the NumPy engines come
+from the ``repro[fast]`` extra.
 
-Both engines must produce identical final memory images **and**
-identical :class:`~repro.machine.counters.OpCounters` — the cost model
-counts operations of the *program*, not of the engine executing it
-(see ``DESIGN.md`` §5).  ``tests/test_differential.py`` enforces this
-equivalence property over random synthesized loops.
+Every engine must produce identical final memory images **and**
+identical :class:`~repro.machine.counters.OpCounters` to its ``bytes``
+oracle — the cost model counts operations of the *program*, not of the
+engine executing it (see ``DESIGN.md`` §5).
+``tests/test_differential.py`` enforces this equivalence property over
+random synthesized loops on both backend axes.
 """
 
 from __future__ import annotations
@@ -27,15 +31,18 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from repro.errors import MachineError
+from repro.ir.expr import Loop
 from repro.machine.arrays import ArraySpace
 from repro.machine.interp import VectorRunResult, run_vector
 from repro.machine.memory import Memory
-from repro.machine.scalar import RunBindings
+from repro.machine.scalar import RunBindings, ScalarRunResult, run_scalar
 from repro.machine.trace import Trace
 from repro.vir.program import VProgram
 
 #: Names accepted wherever a backend is selected (CLI, verify, bench).
 BACKEND_CHOICES = ("auto", "bytes", "numpy")
+#: Names accepted wherever a scalar-reference engine is selected.
+SCALAR_BACKEND_CHOICES = ("auto", "bytes", "numpy")
 
 
 @runtime_checkable
@@ -109,4 +116,67 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
         return NumpyBackend()
     raise MachineError(
         f"unknown execution backend {name!r}; choose from {BACKEND_CHOICES}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scalar-reference engines
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class ScalarBackend(Protocol):
+    """Anything that can execute the original scalar loop on a memory."""
+
+    name: str
+
+    def run(
+        self,
+        loop: Loop,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+    ) -> ScalarRunResult:
+        """Execute ``loop`` on ``mem``; return reference operation counts."""
+        ...  # pragma: no cover - protocol
+
+
+class BytesScalarBackend:
+    """The per-iteration scalar reference, wrapped as a backend."""
+
+    name = "bytes"
+
+    def run(
+        self,
+        loop: Loop,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+    ) -> ScalarRunResult:
+        return run_scalar(loop, space, mem, bindings)
+
+
+def get_scalar_backend(name: str = "auto") -> ScalarBackend:
+    """Resolve a scalar-reference engine name to an engine instance.
+
+    Mirrors :func:`get_backend`: ``"auto"`` prefers the whole-array
+    NumPy engine and silently falls back to the per-iteration
+    interpreter when NumPy is unavailable; asking for ``"numpy"``
+    explicitly raises instead.
+    """
+    if name == "auto":
+        name = default_backend_name()
+    if name == "bytes":
+        return BytesScalarBackend()
+    if name == "numpy":
+        if not numpy_available():
+            raise MachineError(
+                "the numpy scalar backend needs numpy installed "
+                "(pip install 'repro[fast]'); use scalar_backend='bytes' "
+                "or 'auto'"
+            )
+        from repro.machine.npscalar import NumpyScalarBackend
+
+        return NumpyScalarBackend()
+    raise MachineError(
+        f"unknown scalar backend {name!r}; choose from {SCALAR_BACKEND_CHOICES}"
     )

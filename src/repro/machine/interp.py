@@ -55,7 +55,15 @@ from repro.vir.vstmt import Section, SetS, SetV, VStmt, VStoreS
 
 @dataclass
 class VectorRunResult:
-    """Outcome of executing a vector program."""
+    """Outcome of executing a vector program.
+
+    ``used_fallback`` is True when the engine took an exactness
+    fallback instead of its primary path: the guarded scalar run for
+    trips at or below ``guard_min_trip`` (both engines), or — on the
+    batched NumPy backend — per-iteration steady-loop execution for
+    programs its planner cannot batch.  Counters and memory are
+    identical either way; the flag only reports *how* they were made.
+    """
 
     counters: OpCounters
     trip: int

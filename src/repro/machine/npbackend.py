@@ -18,19 +18,30 @@ done by the engine — DESIGN.md §5).
 
 Batching preconditions (checked per program; any miss falls back to
 per-iteration execution through the interpreter's own helpers, so the
-answer is still exact):
+answer is still exact — and is reported via ``used_fallback``):
 
 * steady step > 0 and the iteration byte stride ``step*D`` is a
   multiple of ``V`` (truncated windows then advance uniformly);
 * the steady body/bottom holds only ``SetV``/``VStoreS`` statements and
   known expression forms, with each vector register assigned at most
   once per iteration;
-* the register dependency graph is acyclic (reductions like
-  ``acc = acc + x`` are loop-carried cycles and run per-iteration);
-* no load window ever coincides with a store window, and store windows
-  of different statements never collide across iterations (windows are
-  ``V``-aligned, so they are equal or disjoint; collisions reduce to a
-  residue test on window distances).
+* the register dependency graph is acyclic *except* for recognized
+  reduction self-cycles ``acc = op(acc, rhs)`` over an exactly
+  reassociable op (modular add/mul, order-insensitive
+  min/max/and/or/xor), which batch as a lane-wise ``ufunc.reduce``
+  fold of the rhs block seeded with the prologue accumulator;
+* store windows of different statements never collide across
+  iterations (windows are ``V``-aligned, so they are equal or
+  disjoint; collisions reduce to a residue test on window distances).
+
+Load windows *may* coincide with store windows: a valid loop carries
+no flow dependence and never loads after a same-iteration store of the
+same window (``validate_loop`` rejects both), so every colliding load
+observes pre-steady-loop memory.  Such loads are served from a one-time
+snapshot taken before any batched store — the residue test only
+rejects the (defensively checked, unreachable-for-valid-programs)
+backward case where a load window was stored in an *earlier* iteration
+or by an earlier same-iteration statement.
 
 Loop-carried register reads (software-pipelining ``old``/``new`` pairs,
 predictive-commoning rotation chains) batch as *shifted rows*: a read
@@ -67,7 +78,8 @@ from repro.machine.counters import (
 )
 from repro.machine.interp import VectorRunResult, run_vector
 from repro.machine.memory import Memory
-from repro.machine.scalar import RunBindings, run_scalar
+from repro.machine.npscalar import NumpyScalarBackend
+from repro.machine.scalar import RunBindings
 from repro.machine.trace import Trace
 from repro.vir.program import SteadyLoop, VProgram
 from repro.vir.vexpr import (
@@ -117,39 +129,46 @@ class NumpyBackend:
         if program.guard_min_trip is not None:
             env.counters.bump(BRANCH)
             if env.trip <= program.guard_min_trip:
-                scalar = run_scalar(program.source, space, mem, env.bindings)
+                # The batched scalar engine writes the oracle's memory
+                # image and reports the oracle's counters (npscalar's
+                # correctness contract), so the guard path stays exact.
+                scalar = NumpyScalarBackend().run(
+                    program.source, space, mem, env.bindings
+                )
                 env.counters.merge(scalar.counters)
                 return VectorRunResult(env.counters, env.trip, used_fallback=True)
         elif env.trip != program.source.upper and isinstance(program.source.upper, int):
             raise MachineError("compile-time trip count mismatch")
 
         interp._exec_stmts(env, program.preheader, i=None)
+        fell_back = False
         for section in program.prologue:
             interp._exec_section(env, section)
         if program.steady is not None:
-            _run_steady(env, program.steady)
+            fell_back = _run_steady(env, program.steady)
         for section in program.epilogue:
             interp._exec_section(env, section)
-        return VectorRunResult(env.counters, env.trip, used_fallback=False)
+        return VectorRunResult(env.counters, env.trip, used_fallback=fell_back)
 
 
 # ---------------------------------------------------------------------------
 # Steady-state loop: batched when safe, per-iteration otherwise
 # ---------------------------------------------------------------------------
 
-def _run_steady(env: interp._Env, steady: SteadyLoop) -> None:
+def _run_steady(env: interp._Env, steady: SteadyLoop) -> bool:
+    """Execute the steady loop; True when the per-iteration path ran."""
     lb = interp._eval_s(env, steady.lb)
     ub = interp._eval_s(env, steady.ub)
     if steady.step <= 0:
         _steady_periter(env, steady, lb, ub)
-        return
+        return True
     n = len(range(lb, ub, steady.step))
     if n == 0:
-        return
+        return False
     plan = _plan(env, steady, lb, n)
     if plan is None:
         _steady_periter(env, steady, lb, ub)
-        return
+        return True
     _exec_batched(env, plan)
     # Structural counters: exactly what the byte interpreter tallies
     # per iteration, multiplied by the iteration count.
@@ -160,6 +179,7 @@ def _run_steady(env: interp._Env, steady: SteadyLoop) -> None:
         _count_stmt(per_iter, stmt)
     for category, count in per_iter.counts.items():
         env.counters.bump(category, count * n)
+    return False
 
 
 def _steady_periter(env: interp._Env, steady: SteadyLoop, lb: int, ub: int) -> None:
@@ -187,7 +207,44 @@ class _Plan:
     seq: list[VStmt]            # body + bottom, original order
     assign_pos: dict[str, int]  # vector register -> defining position
     order: list[int]            # topological execution order of SetV positions
+    reductions: dict[int, VExpr]  # SetV position -> batched-fold rhs
     mem_u8: np.ndarray          # writable uint8 view of the whole memory
+    read_u8: np.ndarray         # buffer serving loads (snapshot on overlap)
+
+
+#: Reduction ops whose lane-wise fold is exact under reassociation:
+#: add/mul are modular, min/max/and/or/xor are order-insensitive.
+_REDUCE_OPS = frozenset(("add", "mul", "min", "max", "and", "or", "xor"))
+
+
+def _reduction_rhs(seq: list[VStmt], pos: int) -> VExpr | None:
+    """The foldable operand when ``seq[pos]`` is ``acc = op(acc, rhs)``.
+
+    Requires an exactly reassociable op, the accumulator on exactly one
+    side, and no other read of the accumulator anywhere in the steady
+    sequence (rhs included) — then the loop-carried self-cycle is a pure
+    fold and the batch can reduce the rhs block in one call.
+    """
+    stmt = seq[pos]
+    assert isinstance(stmt, SetV)
+    expr = stmt.expr
+    if not isinstance(expr, VBinE) or expr.op.name not in _REDUCE_OPS:
+        return None
+    a_is_acc = isinstance(expr.a, VRegE) and expr.a.name == stmt.reg
+    b_is_acc = isinstance(expr.b, VRegE) and expr.b.name == stmt.reg
+    if a_is_acc == b_is_acc:  # both or neither
+        return None
+    rhs = expr.b if a_is_acc else expr.a
+    if any(isinstance(n, VRegE) and n.name == stmt.reg for n in walk(rhs)):
+        return None
+    for other_pos, other in enumerate(seq):
+        if other_pos == pos:
+            continue
+        exprs = [other.expr] if isinstance(other, SetV) else [other.src]
+        for e in exprs:
+            if any(isinstance(n, VRegE) and n.name == stmt.reg for n in walk(e)):
+                return None
+    return rhs
 
 
 def _plan(env: interp._Env, steady: SteadyLoop, lb: int, n: int) -> _Plan | None:
@@ -199,9 +256,10 @@ def _plan(env: interp._Env, steady: SteadyLoop, lb: int, n: int) -> _Plan | None
 
     seq: list[VStmt] = list(steady.body) + list(steady.bottom)
     assign_pos: dict[str, int] = {}
-    load_addrs: list[Addr] = []
-    store_addrs: list[Addr] = []
+    load_refs: list[tuple[Addr, int]] = []  # (address, statement position)
+    store_refs: list[tuple[Addr, int]] = []
     for pos, stmt in enumerate(seq):
+        load_addrs: list[Addr] = []
         if isinstance(stmt, SetV):
             if stmt.reg in assign_pos:
                 return None
@@ -211,17 +269,27 @@ def _plan(env: interp._Env, steady: SteadyLoop, lb: int, n: int) -> _Plan | None
         elif isinstance(stmt, VStoreS):
             if not _scan_expr(stmt.src, load_addrs):
                 return None
-            store_addrs.append(stmt.addr)
+            store_refs.append((stmt.addr, pos))
         else:
             return None  # SetS or unknown: loop-variant scalar state
+        load_refs.extend((addr, pos) for addr in load_addrs)
 
-    order = _topo_order(seq, assign_pos)
+    reductions: dict[int, VExpr] = {}
+    for pos, stmt in enumerate(seq):
+        if isinstance(stmt, SetV):
+            rhs = _reduction_rhs(seq, pos)
+            if rhs is not None:
+                reductions[pos] = rhs
+
+    order = _topo_order(seq, assign_pos, reductions)
     if order is None:
         return None
 
     # Window bounds and collision analysis.  Windows are V-aligned and
     # V bytes long, so two windows are equal or disjoint; window t of an
-    # access with first window a0 sits at a0 + t*stride.
+    # access with first window a0 sits at a0 + t*stride, so windows of
+    # two accesses collide iff their distance d is a multiple of the
+    # stride with |d/stride| <= n-1.
     def first_window(addr: Addr) -> int | None:
         a0 = env.space[addr.array].addr(lb + addr.elem)
         a0 -= a0 % V
@@ -230,37 +298,54 @@ def _plan(env: interp._Env, steady: SteadyLoop, lb: int, n: int) -> _Plan | None
         return a0
 
     load_w = []
-    for addr in load_addrs:
+    for addr, pos in load_refs:
         a0 = first_window(addr)
         if a0 is None:
             return None
-        load_w.append(a0)
+        load_w.append((a0, pos))
     store_w = []
-    for addr in store_addrs:
+    for addr, pos in store_refs:
         a0 = first_window(addr)
         if a0 is None:
             return None
-        store_w.append(a0)
+        store_w.append((a0, pos))
 
-    for sa in store_w:
-        # Any load window coinciding with any store window (in any
-        # iteration pair) makes load results order-dependent.
-        for la in load_w:
+    snapshot_reads = False
+    for sa, s_pos in store_w:
+        # A load window coinciding with a store window is safe exactly
+        # when the interpreter's load would observe pre-steady memory:
+        # the store happens in a strictly later iteration (d/stride > 0)
+        # or later in the same iteration (d == 0, load statement not
+        # after the store statement — loads of the storing statement
+        # itself evaluate before its write).  Serving such loads from a
+        # pre-loop snapshot is then exact.  The backward cases are flow
+        # dependences the source validation rejects; keep the defensive
+        # bail-out so an invalid program still gets exact per-iteration
+        # semantics.
+        for la, l_pos in load_w:
             d = la - sa
-            if d % stride == 0 and abs(d) <= (n - 1) * stride:
+            if d % stride or abs(d) > (n - 1) * stride:
+                continue  # never the same window
+            if d < 0 or (d == 0 and l_pos > s_pos):
                 return None
+            snapshot_reads = True
         # Two *different* store statements hitting one window across
         # iterations interleave in program order; batching would not.
         # Identical first windows (d == 0) are safe: both statements
         # write the same window in the same per-iteration order, so the
         # later statement's full batch wins either way.
-        for other in store_w:
+        for other, _ in store_w:
             d = other - sa
             if d != 0 and d % stride == 0 and abs(d) <= (n - 1) * stride:
                 return None
 
     mem_u8 = np.frombuffer(env.mem.raw(), dtype=np.uint8)
-    return _Plan(n, lb, steady.step, stride, seq, assign_pos, order, mem_u8)
+    # Loads never observe the batch's stores (argued above), so one
+    # snapshot serves every load; without overlap the live buffer is
+    # identical and the copy is skipped.
+    read_u8 = mem_u8.copy() if snapshot_reads else mem_u8
+    return _Plan(n, lb, steady.step, stride, seq, assign_pos, order,
+                 reductions, mem_u8, read_u8)
 
 
 _SUPPORTED_OPS = frozenset(
@@ -283,13 +368,18 @@ def _scan_expr(expr: VExpr, load_addrs: list[Addr]) -> bool:
     return True
 
 
-def _topo_order(seq: list[VStmt], assign_pos: dict[str, int]) -> list[int] | None:
+def _topo_order(
+    seq: list[VStmt],
+    assign_pos: dict[str, int],
+    reductions: dict[int, VExpr],
+) -> list[int] | None:
     """Order SetV positions so every read's defining array exists first.
 
     Every register read — same-iteration or loop-carried — needs the
     *complete* (n, V) array of its defining statement, so each read is
-    an edge definer -> reader.  A cycle (self-accumulation) has no
-    batched form and returns None.
+    an edge definer -> reader.  A recognized reduction's accumulator
+    self-read is resolved by the batched fold, so its self-edge is
+    dropped; any other cycle has no batched form and returns None.
     """
     positions = sorted(assign_pos.values())
     indeg = {pos: 0 for pos in positions}
@@ -300,6 +390,8 @@ def _topo_order(seq: list[VStmt], assign_pos: dict[str, int]) -> list[int] | Non
         for node in walk(stmt.expr):
             if isinstance(node, VRegE):
                 src = assign_pos.get(node.name)
+                if src == pos and pos in reductions:
+                    continue  # the fold consumes the self-cycle
                 if src is not None:
                     adj[src].append(pos)
                     indeg[pos] += 1
@@ -326,11 +418,14 @@ def _exec_batched(env: interp._Env, plan: _Plan) -> None:
     for pos in plan.order:
         stmt = plan.seq[pos]
         assert isinstance(stmt, SetV)
-        arrays[stmt.reg] = _eval_rows(env, plan, arrays, stmt.expr, pos)
+        if pos in plan.reductions:
+            arrays[stmt.reg] = _fold_reduction(env, plan, arrays, stmt, pos)
+        else:
+            arrays[stmt.reg] = _eval_rows(env, plan, arrays, stmt.expr, pos)
     for pos, stmt in enumerate(plan.seq):
         if isinstance(stmt, VStoreS):
             rows = _eval_rows(env, plan, arrays, stmt.src, pos)
-            view = _window_view(env, plan, stmt.addr)
+            view = _window_view(env, plan, stmt.addr, plan.mem_u8)
             view[:] = np.broadcast_to(rows, (plan.n, env.program.V))
     # Final register values feed the epilogue (run by the interpreter).
     for pos in plan.order:
@@ -339,13 +434,58 @@ def _exec_batched(env: interp._Env, plan: _Plan) -> None:
         env.vregs[stmt.reg] = arrays[stmt.reg][-1].tobytes()
 
 
-def _window_view(env: interp._Env, plan: _Plan, addr: Addr) -> np.ndarray:
+def _fold_reduction(
+    env: interp._Env,
+    plan: _Plan,
+    arrays: dict[str, np.ndarray],
+    stmt: SetV,
+    pos: int,
+) -> np.ndarray:
+    """``acc = op(acc, rhs)`` over all iterations as one lane-wise fold.
+
+    The accumulator after the last iteration is the op-fold of the rhs
+    rows seeded with the register's prologue value — exact because the
+    permitted ops reassociate exactly.  Returns shape ``(1, V)``: only
+    the final value exists (nothing else may read the accumulator).
+    """
+    V = env.program.V
+    expr = stmt.expr
+    assert isinstance(expr, VBinE)
+    rows = _eval_rows(env, plan, arrays, plan.reductions[pos], pos)
+    init = np.frombuffer(
+        interp._read_vreg(env, stmt.reg), dtype=np.uint8
+    ).reshape(1, V)
+    block = np.concatenate(
+        [init, np.broadcast_to(rows, (plan.n, V))], axis=0
+    )
+    return _fold_rows(expr.op.name, block, expr.dtype)
+
+
+def _fold_rows(name: str, block: np.ndarray, dtype) -> np.ndarray:
+    """Fold (m, V) uint8 rows lane-wise into (1, V), bit-exactly."""
+    if name in ("and", "or", "xor"):
+        ufunc = {"and": np.bitwise_and, "or": np.bitwise_or,
+                 "xor": np.bitwise_xor}[name]
+        return ufunc.reduce(block, axis=0, keepdims=True)
+    fmt = f"<{'i' if dtype.signed and name in ('min', 'max') else 'u'}{dtype.size}"
+    lanes = np.ascontiguousarray(block).view(fmt)
+    ufunc = {"add": np.add, "mul": np.multiply,
+             "min": np.minimum, "max": np.maximum}[name]
+    # Pin the accumulation dtype: add/multiply.reduce would otherwise
+    # promote narrow lanes to the platform int and lose the wraparound.
+    out = ufunc.reduce(lanes, axis=0, keepdims=True, dtype=lanes.dtype)
+    return np.ascontiguousarray(out).view(np.uint8)
+
+
+def _window_view(
+    env: interp._Env, plan: _Plan, addr: Addr, buffer: np.ndarray
+) -> np.ndarray:
     """The access's truncated V-byte window per iteration, as (n, V)."""
     V = env.program.V
     a0 = env.space[addr.array].addr(plan.lb + addr.elem)
     a0 -= a0 % V
     return np.lib.stride_tricks.as_strided(
-        plan.mem_u8[a0:], shape=(plan.n, V), strides=(plan.stride, 1)
+        buffer[a0:], shape=(plan.n, V), strides=(plan.stride, 1)
     )
 
 
@@ -363,7 +503,11 @@ def _eval_rows(
     """
     V = env.program.V
     if isinstance(expr, VLoadE):
-        return _window_view(env, plan, expr.addr)
+        # Loads never observe the batch's stores (see _plan), so they
+        # are served from the read buffer — a pre-loop snapshot when a
+        # stored window collides with a load window, the live memory
+        # otherwise.
+        return _window_view(env, plan, expr.addr, plan.read_u8)
     if isinstance(expr, VRegE):
         defining = plan.assign_pos.get(expr.name)
         if defining is None:

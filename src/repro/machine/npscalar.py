@@ -1,0 +1,214 @@
+"""Batched NumPy scalar-reference engine.
+
+The byte-level scalar reference (:func:`repro.machine.scalar.run_scalar`)
+evaluates the loop one original iteration at a time with a recursive
+Python expression walker — semantically golden, but it dominated the
+end-to-end sweep wall clock once the vector side was batched (PR 1).
+This engine produces the **identical memory image** by evaluating each
+statement's expression tree as whole-array NumPy operations over
+shifted element windows: a stride-one reference ``a[i + c]`` over
+``trip`` iterations is exactly the contiguous element slice
+``a[c : c + trip]``, so the loop collapses into O(expression nodes)
+vectorized calls — the batched-stencil formulation of shifted views.
+
+Correctness contract (enforced by ``tests/test_differential.py``):
+
+* final memory bytes are identical to :func:`run_scalar`'s, with exact
+  wraparound / saturation / signedness semantics per
+  :class:`~repro.ir.types.DataType` (lane values are carried as
+  little-endian unsigned bit patterns, exactly as they live in memory);
+* the returned :class:`~repro.machine.counters.OpCounters` are derived
+  structurally by :func:`~repro.machine.scalar.reference_counters`,
+  which reproduces the oracle's dynamic tally — so OPD and speedup
+  numbers are bit-identical whichever engine ran.
+
+Dependence note: a simdizable loop never carries a flow dependence
+(``validate_loop`` rejects them, and load statements never follow the
+storing statement), so **every load observes pre-loop memory**.  When a
+stored array is also loaded, reads are served from a one-time snapshot
+taken before any store — the whole-array writes then cannot disturb
+them.  Reductions accumulate with ``ufunc.reduce`` over the operand
+block, which is exact because the permitted reduction ops are modular
+(add/mul) or order-insensitive (min/max/and/or/xor).
+
+This module is only imported when NumPy is present; use
+:func:`repro.machine.backend.get_scalar_backend` for gated access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.ir.expr import BinOp, Const, Expr, Loop, LoopIndex, Reduction, Ref, ScalarVar
+from repro.machine.arrays import ArraySpace
+from repro.machine.memory import Memory
+from repro.machine.scalar import (
+    RunBindings,
+    ScalarRunResult,
+    reference_counters,
+    run_scalar,
+)
+
+
+class NumpyScalarBackend:
+    """Whole-array execution of the scalar reference (bit-exact vs bytes)."""
+
+    name = "numpy"
+
+    def run(
+        self,
+        loop: Loop,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+    ) -> ScalarRunResult:
+        bindings = bindings or RunBindings()
+        trip = bindings.resolve_trip(loop)
+        if trip == 0 or not _batchable(loop, trip):
+            # Zero-trip reductions still touch the accumulator, and
+            # out-of-range references must raise the oracle's error;
+            # both are cheap enough to delegate outright.
+            return run_scalar(loop, space, mem, bindings)
+
+        mem_u8 = np.frombuffer(mem.raw(), dtype=np.uint8)
+        # Loads of stored arrays must see pre-loop values (simdizable
+        # loops have no flow dependences); one snapshot serves them all.
+        overlap = loop.store_arrays() & loop.load_arrays()
+        read_u8 = mem_u8.copy() if overlap else mem_u8
+
+        def window(buffer: np.ndarray, name: str, offset: int, count: int) -> np.ndarray:
+            arr = space[name]
+            D = arr.decl.dtype.size
+            start = arr.base + offset * D
+            return buffer[start:start + count * D].view(f"<u{D}")
+
+        def eval_expr(expr: Expr) -> np.ndarray:
+            dtype = loop.dtype
+            if isinstance(expr, Ref):
+                return window(read_u8, expr.array.name, expr.offset, trip)
+            if isinstance(expr, Const):
+                return _pattern(expr.value, dtype)
+            if isinstance(expr, ScalarVar):
+                return _pattern(bindings.scalar(expr.name), dtype)
+            if isinstance(expr, LoopIndex):
+                lanes = np.arange(trip, dtype=np.int64)
+                return _wrap_patterns(lanes, dtype)
+            if isinstance(expr, BinOp):
+                left = eval_expr(expr.left)
+                right = eval_expr(expr.right)
+                return _apply_op(expr.op.name, left, right, dtype)
+            raise MachineError(f"unknown expression node {type(expr).__name__}")
+
+        for stmt in loop.statements:
+            values = eval_expr(stmt.expr)
+            if isinstance(stmt, Reduction):
+                target = window(mem_u8, stmt.target.array.name,
+                                stmt.target.offset, 1)
+                block = np.broadcast_to(values, (trip,))
+                folded = _reduce_op(stmt.op.name, block, loop.dtype)
+                target[:1] = _apply_op(stmt.op.name, target[:1].copy(),
+                                       folded, loop.dtype)
+            else:
+                out = window(mem_u8, stmt.target.array.name,
+                             stmt.target.offset, trip)
+                out[:] = np.broadcast_to(values, (trip,))
+
+        return ScalarRunResult(
+            counters=reference_counters(loop, trip),
+            trip=trip,
+            data_count=trip * len(loop.statements),
+        )
+
+
+def _batchable(loop: Loop, trip: int) -> bool:
+    """True when every reference stays inside its array for this trip."""
+    for stmt in loop.statements:
+        refs = list(stmt.loads())
+        if isinstance(stmt, Reduction):
+            if stmt.op.name not in _REDUCE_UFUNCS:
+                return False  # no exact batched fold; use the oracle
+            refs.append(stmt.target)
+            spans = [(r.offset, r.offset + (1 if r is stmt.target else trip))
+                     for r in refs]
+        else:
+            refs.append(stmt.target)
+            spans = [(r.offset, r.offset + trip) for r in refs]
+        for ref, (low, high) in zip(refs, spans):
+            if low < 0 or high > ref.array.length:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Lane arithmetic on little-endian unsigned bit patterns
+# ---------------------------------------------------------------------------
+
+def _pattern(value: int, dtype) -> np.ndarray:
+    """A loop-invariant lane value as a 0-d unsigned bit pattern."""
+    return np.asarray(value & ((1 << dtype.bits) - 1), dtype=f"<u{dtype.size}")
+
+
+def _wrap_patterns(values: np.ndarray, dtype) -> np.ndarray:
+    """Reduce int64 lane values to unsigned patterns (DataType.wrap)."""
+    return (values & ((1 << dtype.bits) - 1)).astype(f"<u{dtype.size}")
+
+
+def _as_int64(a: np.ndarray, dtype) -> np.ndarray:
+    """Interpret unsigned patterns as this type's lane values, widened."""
+    if dtype.signed:
+        return np.asarray(a).view(f"<i{dtype.size}").astype(np.int64)
+    return np.asarray(a).astype(np.int64)
+
+
+def _apply_op(name: str, a: np.ndarray, b: np.ndarray, dtype) -> np.ndarray:
+    """Elementwise BinaryOp.apply + DataType.wrap on unsigned patterns."""
+    if name in ("and", "or", "xor"):
+        func = {"and": np.bitwise_and, "or": np.bitwise_or,
+                "xor": np.bitwise_xor}[name]
+        return func(a, b)
+    if name in ("add", "sub", "mul"):
+        # Two's-complement wraparound == unsigned modular arithmetic.
+        func = {"add": np.add, "sub": np.subtract, "mul": np.multiply}[name]
+        return func(a, b)
+    if name in ("min", "max"):
+        func = np.minimum if name == "min" else np.maximum
+        if dtype.signed:
+            sfmt = f"<i{dtype.size}"
+            out = func(np.asarray(a).view(sfmt), np.asarray(b).view(sfmt))
+            return np.asarray(out).view(f"<u{dtype.size}")
+        return func(a, b)
+    wa, wb = _as_int64(a, dtype), _as_int64(b, dtype)
+    if name == "avg":
+        out = (wa + wb) >> 1  # arithmetic shift floors, like Python's >>
+    elif name == "sadd":
+        out = np.clip(wa + wb, dtype.min_value, dtype.max_value)
+    elif name == "ssub":
+        out = np.clip(wa - wb, dtype.min_value, dtype.max_value)
+    else:
+        raise MachineError(f"unknown batched binary op {name!r}")
+    return _wrap_patterns(out, dtype)
+
+
+#: ufunc per reduction op; reassociation is exact for all of these
+#: (modular add/mul, order-insensitive min/max/and/or/xor).
+_REDUCE_UFUNCS = {
+    "add": np.add, "mul": np.multiply,
+    "min": np.minimum, "max": np.maximum,
+    "and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor,
+}
+
+
+def _reduce_op(name: str, block: np.ndarray, dtype) -> np.ndarray:
+    """Fold a (trip,)-shaped operand block into one lane value, exactly."""
+    try:
+        ufunc = _REDUCE_UFUNCS[name]
+    except KeyError:
+        raise MachineError(f"op {name!r} has no exact batched reduction") from None
+    if name in ("min", "max") and dtype.signed:
+        lanes = np.asarray(block).view(f"<i{dtype.size}")
+        out = ufunc.reduce(lanes, dtype=lanes.dtype)
+        return np.asarray(out).view(f"<u{dtype.size}")
+    # Pin the accumulation dtype: add/multiply.reduce would otherwise
+    # promote narrow lanes to the platform int and lose the wraparound.
+    return ufunc.reduce(block, dtype=np.asarray(block).dtype)

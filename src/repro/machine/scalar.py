@@ -60,17 +60,12 @@ class ScalarRunResult:
 
     counters: OpCounters
     trip: int
+    #: Number of data elements computed (one per statement per iteration).
+    data_count: int = 0
 
     @property
     def ops(self) -> int:
         return self.counters.total
-
-    @property
-    def data_count(self) -> int:
-        """Number of data elements computed (one per statement per iteration)."""
-        return self._data_count
-
-    _data_count: int = 0
 
 
 def run_scalar(
@@ -129,9 +124,40 @@ def run_scalar(
                 counters.bump(SSTORE)
                 bound[stmt.target.array.name].store(mem, i + stmt.target.offset, value)
 
-    result = ScalarRunResult(counters=counters, trip=trip)
-    result._data_count = trip * len(loop.statements)
-    return result
+    return ScalarRunResult(counters=counters, trip=trip,
+                           data_count=trip * len(loop.statements))
+
+
+def reference_counters(loop: Loop, trip: int) -> OpCounters:
+    """The exact :class:`OpCounters` :func:`run_scalar` tallies, derived
+    structurally — no execution.
+
+    The scalar reference re-walks the statement bodies every iteration,
+    so its dynamic counts are ``trip × (per-iteration statement counts)``
+    plus, for reductions, the one-time accumulator load/store.  Batched
+    scalar engines report these counters so OPD and speedup stay
+    bit-identical to the oracle whichever engine produced the memory
+    image (the cost model counts operations of the *loop*, not of the
+    engine executing it).
+    """
+    counters = OpCounters()
+    loads = arith = stores = fixed_loads = fixed_stores = 0
+    for stmt in loop.statements:
+        loads += len(stmt.loads())
+        arith += sum(1 for n in stmt.expr.walk() if isinstance(n, BinOp))
+        if isinstance(stmt, Reduction):
+            arith += 1        # the accumulate op
+            fixed_loads += 1  # initial accumulator load
+            fixed_stores += 1 # final accumulator store
+        else:
+            stores += 1
+    if loads * trip + fixed_loads:
+        counters.bump(SLOAD, loads * trip + fixed_loads)
+    if arith * trip:
+        counters.bump(SARITH, arith * trip)
+    if stores * trip + fixed_stores:
+        counters.bump(SSTORE, stores * trip + fixed_stores)
+    return counters
 
 
 def ideal_scalar_ops(loop: Loop, trip: int) -> int:

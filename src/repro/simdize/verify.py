@@ -17,10 +17,15 @@ import random
 from repro.errors import VerificationError
 from repro.ir.expr import Loop
 from repro.machine.arrays import ArraySpace
-from repro.machine.backend import ExecutionBackend, get_backend
+from repro.machine.backend import (
+    ExecutionBackend,
+    ScalarBackend,
+    get_backend,
+    get_scalar_backend,
+)
 from repro.machine.counters import OpCounters
 from repro.machine.memory import Memory
-from repro.machine.scalar import RunBindings, run_scalar
+from repro.machine.scalar import RunBindings
 from repro.vir.program import VProgram
 
 
@@ -75,11 +80,16 @@ def make_space(
 
 
 def fill_random(space: ArraySpace, mem: Memory, rng: random.Random) -> None:
-    """Give every array random in-range element values."""
+    """Give every array random in-range element values.
+
+    Element values are uniform over the dtype's full range, so the fill
+    is one bulk byte draw per array: every byte pattern *is* an
+    in-range two's-complement value.  Deterministic for a given ``rng``
+    state (but a different stream than the historical per-element
+    ``randint`` loop, so seeds pin different — equally random — data).
+    """
     for arr in space.arrays():
-        dtype = arr.decl.dtype
-        values = [rng.randint(dtype.min_value, dtype.max_value) for _ in range(arr.decl.length)]
-        arr.write_all(mem, values)
+        mem.write(arr.base, rng.randbytes(arr.size_bytes))
 
 
 def verify_equivalence(
@@ -88,21 +98,30 @@ def verify_equivalence(
     mem: Memory,
     bindings: RunBindings | None = None,
     backend: str | ExecutionBackend = "auto",
+    scalar_backend: str | ScalarBackend = "auto",
 ) -> EquivalenceReport:
     """Run both executions on clones of ``mem``; raise on any mismatch.
 
-    ``backend`` selects the vector execution engine (a name accepted by
-    :func:`repro.machine.backend.get_backend`, or an engine instance).
-    Counters and memory are backend-invariant, so the report is the
-    same whichever engine ran — only the wall-clock differs.
+    ``backend`` selects the vector execution engine and
+    ``scalar_backend`` the scalar-reference engine (names accepted by
+    :func:`repro.machine.backend.get_backend` /
+    :func:`~repro.machine.backend.get_scalar_backend`, or engine
+    instances).  Counters and memory are backend-invariant on both
+    axes, so the report is the same whichever engines ran — only the
+    wall-clock differs.
     """
     bindings = bindings or RunBindings()
     loop = program.source
     engine = get_backend(backend) if isinstance(backend, str) else backend
+    scalar_engine = (
+        get_scalar_backend(scalar_backend)
+        if isinstance(scalar_backend, str)
+        else scalar_backend
+    )
 
     scalar_mem = mem.clone()
     vector_mem = mem.clone()
-    scalar_result = run_scalar(loop, space, scalar_mem, bindings)
+    scalar_result = scalar_engine.run(loop, space, scalar_mem, bindings)
     vector_result = engine.run(program, space, vector_mem, bindings)
 
     if scalar_mem.snapshot() != vector_mem.snapshot():

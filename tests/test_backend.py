@@ -127,15 +127,36 @@ class TestEngineParity:
             trip=131, residues={"a": 8, "b": 0})
         assert trip == 131 and not used_fallback
 
-    def test_reduction_loop(self):
-        """Loop-carried register cycle: numpy falls back per-iteration
-        but must still match exactly."""
+    @pytest.mark.parametrize("op", ["add", "mul", "min", "max"])
+    def test_reduction_loop(self, op):
+        """Reduction self-cycles batch as exact lane-wise folds — the
+        numpy backend must match the oracle *without* falling back."""
         lb = LoopBuilder(trip=90)
         out = lb.array("out", "int32", 8)
         b = lb.array("b", "int32", 128)
         c = lb.array("c", "int32", 128)
-        lb.reduce(out, 0, "add", b[1] + c[2])
-        run_both(lb.build(), seed=11)
+        lb.reduce(out, 0, op, b[1] + c[2])
+        _, _, _, used_fallback = run_both(lb.build(), seed=11)
+        assert used_fallback is False
+
+    def test_colliding_windows_batch(self):
+        """A stored array also loaded (anti-dependence) batches via
+        snapshot-served loads — no per-iteration fallback."""
+        lb = LoopBuilder(trip=85)
+        a = lb.array("a", "int32", 160)
+        b = lb.array("b", "int32", 160)
+        lb.assign(a[0], a[3] + b[1])
+        _, _, _, used_fallback = run_both(lb.build(), seed=13)
+        assert used_fallback is False
+
+    def test_same_element_rewrite_batches(self):
+        """a[i] = f(a[i], …): load and store share every window."""
+        lb = LoopBuilder(trip=64)
+        a = lb.array("a", "int8", 96)
+        b = lb.array("b", "int8", 96)
+        lb.assign(a[2], a[2].avg(b[1]))
+        _, _, _, used_fallback = run_both(lb.build(), seed=17)
+        assert used_fallback is False
 
     def test_iota_loop(self):
         lb = LoopBuilder(trip=70)
@@ -151,3 +172,24 @@ class TestEngineParity:
         c = lb.array("c", dtype, 160)
         lb.assign(a[3], b[1] + c[6])
         run_both(lb.build(), SimdOptions(reuse="sp", unroll=2), seed=5)
+
+    def test_figure_sweep_never_falls_back(self):
+        """No Figure 11/12 sweep configuration may take the numpy
+        backend's per-iteration path (they are all batchable now)."""
+        from repro.bench import figure_configs
+        from repro.bench.runner import _cached_simdize
+        from repro.bench.synth import synthesize
+        from repro.simdize.verify import fill_random as fill
+
+        engine = get_backend("numpy")
+        for label, config in figure_configs(False, count=1, trip=101):
+            syn = synthesize(config.params, config.seed, config.V)
+            result = _cached_simdize(syn.loop, config.V, config.options)
+            rand = random.Random(config.seed ^ 0x5EED)
+            space = make_space(syn.loop, config.V, rand, syn.base_residues)
+            mem = space.make_memory()
+            fill(space, mem, rand)
+            trip = config.params.trip if syn.loop.runtime_upper else None
+            run = engine.run(result.program, space, mem,
+                             RunBindings(trip=trip))
+            assert run.used_fallback is False, f"{label} fell back"

@@ -1,12 +1,12 @@
 """Differential property test: bytes and numpy engines are equivalent.
 
 Hypothesis draws random synthesized loops, alignments, trip counts,
-and scheme combinations; for every draw both execution backends must
-produce byte-identical final memory **and** identical operation
-counters.  This is the property that keeps the batched NumPy engine
-honest against the byte-interpreter oracle — including the cases where
-it bails out to per-iteration execution (reductions, colliding
-windows) and where the guarded scalar fallback runs.
+and scheme combinations; for every draw both engines of **both backend
+axes** — the vector-program executors and the scalar-reference
+executors — must produce byte-identical final memory **and** identical
+operation counters.  This is the property that keeps the batched NumPy
+engines honest against their byte oracles — including the guarded
+scalar fallback, batched reductions, and colliding-window batches.
 """
 
 import random
@@ -17,7 +17,12 @@ from hypothesis import HealthCheck, assume, given, settings, strategies as st
 from repro.bench.synth import SynthParams, synthesize
 from repro.errors import PolicyError
 from repro.ir import INT8, INT16, INT32
-from repro.machine import RunBindings, get_backend, numpy_available
+from repro.machine import (
+    RunBindings,
+    get_backend,
+    get_scalar_backend,
+    numpy_available,
+)
 from repro.simdize import SimdOptions, fill_random, make_space, simdize
 
 pytestmark = pytest.mark.skipif(not numpy_available(),
@@ -79,3 +84,15 @@ def test_backends_agree_on_random_loops(case):
     assert b[0] == n[0], "final memory differs between backends"
     assert b[1] == n[1], f"operation counters differ:\n{b[1]}\n{n[1]}"
     assert b[2:] == n[2:]
+
+    # Second axis: the scalar-reference engines must agree too.
+    scalar_outcomes = {}
+    for name in ("bytes", "numpy"):
+        mem = base.clone()
+        run = get_scalar_backend(name).run(syn.loop, space, mem, bindings)
+        scalar_outcomes[name] = (mem.snapshot(), run.counters.as_dict(),
+                                 run.trip, run.data_count)
+    sb, sn = scalar_outcomes["bytes"], scalar_outcomes["numpy"]
+    assert sb[0] == sn[0], "final memory differs between scalar engines"
+    assert sb[1] == sn[1], f"scalar counters differ:\n{sb[1]}\n{sn[1]}"
+    assert sb[2:] == sn[2:]

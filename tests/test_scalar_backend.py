@@ -1,0 +1,212 @@
+"""Scalar-backend registry and bytes/numpy reference-engine parity.
+
+The per-iteration interpreter (``run_scalar``) is the semantic oracle;
+the whole-array NumPy engine must reproduce its final memory image
+*and* its operation counters exactly — the counters are structural
+properties of the loop, not of the engine (DESIGN.md §5).  These tests
+pin the registry contract, the parity on hand-picked deterministic
+cases, and the analytic counter derivation; ``test_differential.py``
+extends the parity property to random loops.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir import LoopBuilder
+from repro.machine import (
+    SCALAR_BACKEND_CHOICES,
+    BytesScalarBackend,
+    RunBindings,
+    ScalarBackend,
+    default_backend_name,
+    get_scalar_backend,
+    numpy_available,
+    reference_counters,
+    run_scalar,
+)
+from repro.simdize import fill_random, make_space
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+ALL_OP_NAMES = ("add", "sub", "mul", "min", "max",
+                "and", "or", "xor", "avg", "sadd", "ssub")
+REDUCTION_OPS = ("add", "mul", "min", "max", "and", "or", "xor")
+
+
+class TestRegistry:
+    def test_bytes_backend(self):
+        engine = get_scalar_backend("bytes")
+        assert isinstance(engine, BytesScalarBackend)
+        assert engine.name == "bytes"
+        assert isinstance(engine, ScalarBackend)
+
+    @needs_numpy
+    def test_numpy_backend(self):
+        engine = get_scalar_backend("numpy")
+        assert engine.name == "numpy"
+        assert isinstance(engine, ScalarBackend)
+
+    def test_auto_resolution(self):
+        assert get_scalar_backend("auto").name == default_backend_name()
+        assert get_scalar_backend().name == default_backend_name()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MachineError, match="unknown scalar backend"):
+            get_scalar_backend("cuda")
+        assert set(SCALAR_BACKEND_CHOICES) == {"auto", "bytes", "numpy"}
+
+    def test_without_numpy_auto_falls_back(self, monkeypatch):
+        import repro.machine.backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        assert backend_mod.get_scalar_backend("auto").name == "bytes"
+        with pytest.raises(MachineError, match="needs numpy"):
+            backend_mod.get_scalar_backend("numpy")
+
+
+def run_both(loop, seed=0, trip=None, scalars=None):
+    """Run one loop under both scalar engines; assert exact parity."""
+    rand = random.Random(seed)
+    space = make_space(loop, 16, rand)
+    base = space.make_memory()
+    fill_random(space, base, rand)
+    bindings = RunBindings(trip=trip, scalars=scalars or {})
+
+    outcomes = {}
+    for name in ("bytes", "numpy"):
+        mem = base.clone()
+        run = get_scalar_backend(name).run(loop, space, mem, bindings)
+        outcomes[name] = (mem.snapshot(), run.counters.as_dict(),
+                          run.trip, run.data_count)
+    b, n = outcomes["bytes"], outcomes["numpy"]
+    assert b[0] == n[0], "memory images differ between scalar engines"
+    assert b[1] == n[1], f"counters differ: {b[1]} vs {n[1]}"
+    assert b[2:] == n[2:]
+    return outcomes["bytes"]
+
+
+def binop_loop(op, dtype="int16", trip=41):
+    lb = LoopBuilder(trip=trip)
+    a = lb.array("a", dtype, 96)
+    b = lb.array("b", dtype, 96)
+    c = lb.array("c", dtype, 96)
+    pair = {
+        "add": lambda: b[1] + c[5], "sub": lambda: b[1] - c[5],
+        "mul": lambda: b[1] * c[5], "and": lambda: b[1] & c[5],
+        "or": lambda: b[1] | c[5], "xor": lambda: b[1] ^ c[5],
+        "min": lambda: b[1].min(c[5]), "max": lambda: b[1].max(c[5]),
+        "avg": lambda: b[1].avg(c[5]), "sadd": lambda: b[1].sadd(c[5]),
+        "ssub": lambda: b[1].ssub(c[5]),
+    }[op]()
+    lb.assign(a[2], pair)
+    return lb.build()
+
+
+@needs_numpy
+class TestEngineParity:
+    @pytest.mark.parametrize("op", ALL_OP_NAMES)
+    @pytest.mark.parametrize("dtype", ["int8", "int32", "uint16"])
+    def test_every_op(self, op, dtype):
+        run_both(binop_loop(op, dtype), seed=3)
+
+    @pytest.mark.parametrize("op", REDUCTION_OPS)
+    def test_reductions(self, op):
+        lb = LoopBuilder(trip=67)
+        out = lb.array("out", "int16", 8)
+        b = lb.array("b", "int16", 96)
+        c = lb.array("c", "int16", 96)
+        lb.reduce(out, 2, op, b[1] * c[4])
+        run_both(lb.build(), seed=5)
+
+    def test_index_and_scalar_operands(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int16", 300)
+        b = lb.array("b", "int16", 300)
+        k = lb.scalar("k")
+        lb.assign(a[1], (b[4] * k).sadd(lb.index_value()))
+        run_both(lb.build(), seed=7, trip=257, scalars={"k": 12345})
+
+    def test_stored_array_also_loaded(self):
+        """Loads must observe pre-loop values, not the batch's writes."""
+        lb = LoopBuilder(trip=61)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        lb.assign(a[0], a[3] + b[1])
+        run_both(lb.build(), seed=9)
+
+    def test_multi_statement_cross_store(self):
+        lb = LoopBuilder(trip=50)
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 96)
+        c = lb.array("c", "int32", 96)
+        lb.assign(c[1], a[2] + b[0])
+        lb.assign(a[2], b[3] + b[7])
+        run_both(lb.build(), seed=11)
+
+    def test_zero_trip(self):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        lb.assign(a[1], b[2])
+        _, counters, trip, data_count = run_both(lb.build(), trip=0)
+        assert trip == 0 and data_count == 0 and counters == {}
+
+    def test_out_of_range_matches_oracle(self):
+        """Unbatchable shapes delegate: the oracle's error surfaces."""
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int32", 96)
+        b = lb.array("b", "int32", 40)  # b[5 + 79] is out of range
+        lb.assign(a[0], b[5])
+        loop = lb.build()
+        rand = random.Random(0)
+        space = make_space(loop, 16, rand)
+        mem = space.make_memory()
+        fill_random(space, mem, rand)
+        for name in ("bytes", "numpy"):
+            with pytest.raises(MachineError):
+                get_scalar_backend(name).run(loop, space, mem.clone(),
+                                             RunBindings(trip=80))
+
+
+class TestReferenceCounters:
+    """The analytic tally must equal run_scalar's dynamic one."""
+
+    @pytest.mark.parametrize("trip", [0, 1, 17])
+    def test_plain_statements(self, trip):
+        lb = LoopBuilder(trip="n")
+        a = lb.array("a", "int16", 64)
+        b = lb.array("b", "int16", 64)
+        c = lb.array("c", "int16", 64)
+        lb.assign(a[1], (b[2] + c[3]).min(b[5]))
+        loop = lb.build()
+        space = make_space(loop, 16, random.Random(0))
+        mem = space.make_memory()
+        result = run_scalar(loop, space, mem, RunBindings(trip=trip))
+        assert reference_counters(loop, trip).counts == result.counters.counts
+
+    @pytest.mark.parametrize("trip", [0, 1, 23])
+    def test_reduction(self, trip):
+        lb = LoopBuilder(trip="n")
+        out = lb.array("out", "int32", 8)
+        b = lb.array("b", "int32", 64)
+        lb.reduce(out, 0, "add", b[1] * b[9])
+        loop = lb.build()
+        space = make_space(loop, 16, random.Random(1))
+        mem = space.make_memory()
+        result = run_scalar(loop, space, mem, RunBindings(trip=trip))
+        assert reference_counters(loop, trip).counts == result.counters.counts
+
+    def test_data_count_field(self):
+        lb = LoopBuilder(trip=13)
+        a = lb.array("a", "int32", 64)
+        b = lb.array("b", "int32", 64)
+        c = lb.array("c", "int32", 64)
+        lb.assign(a[0], b[1])
+        lb.assign(c[2], b[5])
+        space = make_space(lb.build(), 16, random.Random(2))
+        result = run_scalar(lb.build(), space, space.make_memory())
+        assert result.data_count == 26
+        assert result.trip == 13
