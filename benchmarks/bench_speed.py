@@ -1,12 +1,19 @@
-"""Wall-clock comparison of the bytes/numpy engine pairs (``BENCH_interp.json``).
+"""Wall-clock comparison of the bytes/numpy/jit engines (``BENCH_interp.json``).
 
-Four measurements over a fixed, seeded Figure-11 sweep:
+Six measurements over a fixed, seeded Figure-11 sweep:
 
 * **engine time** — vector ``backend.run()`` alone on pre-simdized
   programs and pre-filled memories, bytes vs numpy.  This isolates the
   vector interpreter, where the batched backend collapses the steady
   loop into O(statements) NumPy calls; the acceptance bar is a >= 10x
   speedup at paper-scale trip counts.
+* **jit time** — the same repeated-trip workload on the compile-once
+  jit engine (kernels warmed, so this times pure re-execution, the
+  sweep steady state); bar: >= 2x over the numpy engine, which
+  re-plans and tree-walks the splice sections on every run.
+* **compile path** — cold vs warm jit codegen against a shared disk
+  cache: the cold pass lowers every program, the warm pass (memory
+  cache cleared) must load every kernel spec from disk.
 * **scalar-engine time** — the scalar-reference engines on the same
   loops, bytes (per-iteration interpreter) vs numpy (whole-array
   shifted-window evaluation); bar: >= 10x.
@@ -30,6 +37,7 @@ import os
 import pathlib
 import platform
 import random
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -38,6 +46,7 @@ import pytest
 from repro.bench import SweepConfig, figure_configs, measure_many
 from repro.bench.runner import _cached_simdize
 from repro.bench.synth import synthesize
+from repro.cache import reset_cache_dir, set_cache_dir
 from repro.machine import get_backend, get_scalar_backend, numpy_available
 from repro.machine.scalar import RunBindings
 from repro.simdize.verify import fill_random, make_space
@@ -128,6 +137,47 @@ def test_backend_speed():
     numpy_s = _time_engine(numpy_engine, workloads)
     speedup = bytes_s / numpy_s
 
+    # The compile-once jit engine on the same repeated-trip workload.
+    # One warm pass compiles + caches every kernel; the timed rounds
+    # then measure the steady state a sweep actually runs in.  Cold
+    # codegen happens against a throwaway shared disk cache, and a
+    # second cold-memory pass measures pure disk-spec loads.
+    from repro.machine import jit
+
+    with tempfile.TemporaryDirectory() as cache_root:
+        set_cache_dir(cache_root)
+        try:
+            jit.clear_memory_cache()
+            stats0 = dict(jit.STATS)
+            start = time.perf_counter()
+            for w in workloads:
+                get_backend("jit").run(w.program, w.space, w.mem.clone(),
+                                       w.bindings)
+            jit_cold_s = time.perf_counter() - start
+            stats1 = dict(jit.STATS)
+
+            jit_s = _time_engine(get_backend("jit"), workloads)
+            jit_speedup = numpy_s / jit_s
+
+            jit.clear_memory_cache()
+            start = time.perf_counter()
+            for w in workloads:
+                get_backend("jit").run(w.program, w.space, w.mem.clone(),
+                                       w.bindings)
+            jit_warm_s = time.perf_counter() - start
+            stats2 = dict(jit.STATS)
+        finally:
+            reset_cache_dir()
+            jit.clear_memory_cache()
+
+    cold_codegens = stats1["codegens"] - stats0["codegens"]
+    cold_compile_s = stats1["compile_s"] - stats0["compile_s"]
+    warm_lookups = (stats2["disk_hits"] + stats2["disk_misses"]
+                    - stats1["disk_hits"] - stats1["disk_misses"])
+    warm_disk_hits = stats2["disk_hits"] - stats1["disk_hits"]
+    warm_compile_s = stats2["compile_s"] - stats1["compile_s"]
+    disk_hit_rate = warm_disk_hits / warm_lookups if warm_lookups else 0.0
+
     scalar_bytes_s = _time_scalar_engine(get_scalar_backend("bytes"), workloads)
     scalar_numpy_s = _time_scalar_engine(get_scalar_backend("numpy"), workloads)
     scalar_speedup = scalar_bytes_s / scalar_numpy_s
@@ -170,6 +220,21 @@ def test_backend_speed():
             "numpy_s": round(numpy_s, 4),
             "speedup": round(speedup, 2),
         },
+        "jit_run": {
+            "numpy_s": round(numpy_s, 4),
+            "jit_s": round(jit_s, 4),
+            "speedup_vs_numpy": round(jit_speedup, 2),
+            "kernels_compiled": cold_codegens,
+            "compile_s": round(cold_compile_s, 4),
+        },
+        "compile_path": {
+            "cold_s": round(jit_cold_s, 4),
+            "warm_from_disk_s": round(jit_warm_s, 4),
+            "warm_compile_s": round(warm_compile_s, 4),
+            "disk_lookups": warm_lookups,
+            "disk_hits": warm_disk_hits,
+            "disk_hit_rate": round(disk_hit_rate, 2),
+        },
         "scalar_run": {
             "bytes_s": round(scalar_bytes_s, 4),
             "numpy_s": round(scalar_numpy_s, 4),
@@ -198,6 +263,12 @@ def test_backend_speed():
         f"best of {ROUNDS}):",
         f"  bytes  {bytes_s:8.4f} s",
         f"  numpy  {numpy_s:8.4f} s   ({speedup:.1f}x)",
+        f"  jit    {jit_s:8.4f} s   ({jit_speedup:.1f}x over numpy, "
+        f"{cold_codegens} kernels compiled in {cold_compile_s:.3f} s)",
+        f"jit compile path (shared disk cache, memory cache cleared):",
+        f"  cold   {jit_cold_s:8.4f} s (codegen)",
+        f"  warm   {jit_warm_s:8.4f} s (disk {warm_disk_hits}/{warm_lookups} "
+        f"hits, {disk_hit_rate * 100:.0f}%)",
         f"scalar reference over {len(workloads)} loops (trip {SPEED_TRIP}, "
         f"best of {ROUNDS}):",
         f"  bytes  {scalar_bytes_s:8.4f} s",
@@ -216,6 +287,10 @@ def test_backend_speed():
     # faster than the byte oracles at paper-scale trip counts, and the
     # whole verification pipeline gains at least 5x end to end.
     assert speedup >= 10.0, f"numpy backend only {speedup:.1f}x faster"
+    assert jit_speedup >= 2.0, (
+        f"jit backend only {jit_speedup:.1f}x faster than numpy")
+    assert disk_hit_rate == 1.0, (
+        f"jit disk cache only hit {warm_disk_hits}/{warm_lookups} warm loads")
     assert scalar_speedup >= 10.0, (
         f"numpy scalar engine only {scalar_speedup:.1f}x faster")
     assert verify_speedup >= 5.0, (

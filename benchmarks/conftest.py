@@ -51,3 +51,18 @@ def record(name: str, text: str) -> None:
 @pytest.fixture
 def results_recorder():
     return record
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the artifact disk cache at a per-test tmpdir.
+
+    Keeps test runs from reading or polluting ~/.cache/repro, and makes
+    cache-behavior tests deterministic (every test starts cold).
+    """
+    from repro.cache import reset_cache_dir
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    reset_cache_dir()
+    yield
+    reset_cache_dir()

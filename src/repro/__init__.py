@@ -86,6 +86,7 @@ def run_and_verify(
     scalars: dict[str, int] | None = None,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile=None,
 ) -> EquivalenceReport:
     """Execute a simdized program on random data and verify it.
 
@@ -93,8 +94,11 @@ def run_and_verify(
     runtime-aligned ones), fills them with random element values, runs
     both the scalar reference and the vector program, checks the
     memories are byte-identical, and returns the operation counts.
-    ``backend`` picks the vector engine and ``scalar_backend`` the
-    scalar-reference engine (``auto``/``bytes``/``numpy`` each).
+    ``backend`` picks the vector engine
+    (``auto``/``bytes``/``numpy``/``jit``) and ``scalar_backend`` the
+    scalar-reference engine (``auto``/``bytes``/``numpy``).  Passing a
+    :class:`repro.profiling.PhaseProfile` accumulates execute/verify
+    (and jit compile) phase timings into it.
     """
     rng = random.Random(seed)
     loop = program.source
@@ -103,4 +107,4 @@ def run_and_verify(
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=trip, scalars=scalars or {})
     return verify_equivalence(program, space, mem, bindings, backend=backend,
-                              scalar_backend=scalar_backend)
+                              scalar_backend=scalar_backend, profile=profile)

@@ -141,6 +141,7 @@ def figure(
     jobs: int = 1,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile=None,
 ) -> FigureResult:
     """Measure every Figure 11/12 scheme bar.
 
@@ -152,7 +153,8 @@ def figure(
                               unroll, loads)
     measurements = measure_many([c for _, c in labelled], jobs=jobs,
                                 backend=backend,
-                                scalar_backend=scalar_backend)
+                                scalar_backend=scalar_backend,
+                                profile=profile)
     by_label: dict[str, list] = {}
     for (label, _), m in zip(labelled, measurements):
         by_label.setdefault(label, []).append(m)

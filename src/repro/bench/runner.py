@@ -7,45 +7,96 @@ memories, *verifies byte equality*, and reports the paper's metrics
 (operations per datum, dynamic-instruction speedup, and the Figure 11
 three-component breakdown: LB / shift overhead / remaining overhead).
 
-Two throughput levers sit on top:
+Three throughput levers sit on top:
 
-* :func:`simdize` results are memoized per process, keyed on the
-  loop's structural :meth:`~repro.ir.expr.Loop.signature` plus the
-  ``(V, SimdOptions)`` pair — policy ablations re-lowering the same
-  front end hit the cache;
+* :func:`simdize` results are memoized per process in a bounded LRU,
+  keyed on the loop's structural
+  :meth:`~repro.ir.expr.Loop.signature` plus the ``(V, SimdOptions)``
+  pair — policy ablations re-lowering the same front end hit the memo;
+* memo misses consult the shared disk cache (:mod:`repro.cache`), so
+  ``measure_many`` workers and repeated CLI invocations skip the
+  lowering entirely once any process has done it;
 * :func:`measure_many` fans :class:`SweepConfig` descriptions out over
   a ``ProcessPoolExecutor``.  Configs carry synthesis parameters and
   seeds rather than loop objects, so every worker re-synthesizes its
   loops deterministically and results are independent of worker count.
+
+Every entry point takes an optional
+:class:`~repro.profiling.PhaseProfile` that accumulates per-phase
+wall-clock seconds and cache hit counters; workers ship their profiles
+back with their measurements and the parent merges them.
 """
 
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
 from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize
+from repro.cache import current_cache_dir, get_cache, set_cache_dir
 from repro.machine.scalar import RunBindings
+from repro.profiling import PhaseProfile, timed
 from repro.simdize.driver import SimdizeResult, simdize
 from repro.simdize.options import SimdOptions
 from repro.simdize.verify import fill_random, make_space, verify_equivalence
 
+#: Bump when SimdizeResult's shape (or anything it transitively pickles)
+#: changes: stale disk entries must miss, not deserialize wrongly.
+SIMDIZE_CACHE_VERSION = 1
+
 #: Per-process simdize memo: (loop signature, V, options) -> result.
-#: Bounded FIFO so unbounded sweeps cannot grow it without limit.
-_SIMDIZE_CACHE: dict[tuple[str, int, SimdOptions], SimdizeResult] = {}
+#: Bounded LRU — a hit moves the entry to the back, eviction takes the
+#: front — so unbounded sweeps cannot grow it without limit and hot
+#: schemes survive scans over many distinct loops.
+_SIMDIZE_CACHE: OrderedDict[
+    tuple[str, int, SimdOptions], SimdizeResult
+] = OrderedDict()
 _SIMDIZE_CACHE_MAX = 512
 
 
-def _cached_simdize(loop, V: int, options: SimdOptions) -> SimdizeResult:
-    key = (loop.signature(), V, options)
+def _simdize_disk_key(signature: str, V: int, options: SimdOptions) -> str:
+    from repro import __version__
+
+    return (f"simdize:{__version__}:{SIMDIZE_CACHE_VERSION}:"
+            f"V{V}:{options!r}:{signature}")
+
+
+def _cached_simdize(
+    loop,
+    V: int,
+    options: SimdOptions,
+    profile: PhaseProfile | None = None,
+) -> SimdizeResult:
+    signature = loop.signature()
+    key = (signature, V, options)
     result = _SIMDIZE_CACHE.get(key)
+    if result is not None:
+        _SIMDIZE_CACHE.move_to_end(key)  # LRU: refresh on hit
+        if profile is not None:
+            profile.count("simdize_memo_hits")
+        return result
+    if profile is not None:
+        profile.count("simdize_memo_misses")
+    disk = get_cache()
+    if disk is not None:
+        entry = disk.get(_simdize_disk_key(signature, V, options))
+        if isinstance(entry, SimdizeResult):
+            result = entry
+            if profile is not None:
+                profile.count("simdize_disk_hits")
+        elif profile is not None:
+            profile.count("simdize_disk_misses")
     if result is None:
         result = simdize(loop, V, options)
-        if len(_SIMDIZE_CACHE) >= _SIMDIZE_CACHE_MAX:
-            _SIMDIZE_CACHE.pop(next(iter(_SIMDIZE_CACHE)))
-        _SIMDIZE_CACHE[key] = result
+        if disk is not None:
+            disk.put(_simdize_disk_key(signature, V, options), result)
+    if len(_SIMDIZE_CACHE) >= _SIMDIZE_CACHE_MAX:
+        _SIMDIZE_CACHE.popitem(last=False)
+    _SIMDIZE_CACHE[key] = result
     return result
 
 
@@ -92,18 +143,21 @@ def measure_loop(
     scheme: str | None = None,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile: PhaseProfile | None = None,
 ) -> Measurement:
     """Simdize + run + verify one synthesized loop under one scheme."""
     loop = syn.loop
     rng = random.Random(seed ^ 0x5EED)
-    result = _cached_simdize(loop, V, options)
+    with timed(profile, "simdize"):
+        result = _cached_simdize(loop, V, options, profile)
 
     space = make_space(loop, V, rng, syn.base_residues)
     mem = space.make_memory()
     fill_random(space, mem, rng)
     bindings = RunBindings(trip=syn.params.trip if loop.runtime_upper else None)
     report = verify_equivalence(result.program, space, mem, bindings,
-                                backend=backend, scalar_backend=scalar_backend)
+                                backend=backend, scalar_backend=scalar_backend,
+                                profile=profile)
 
     lb = lower_bound(
         loop,
@@ -189,6 +243,7 @@ def measure_suite(
     jobs: int = 1,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile: PhaseProfile | None = None,
 ) -> SuiteResult:
     """Measure every loop of a suite under one scheme."""
     if jobs > 1:
@@ -196,11 +251,13 @@ def measure_suite(
             SweepConfig(syn.params, syn.seed, options, V, scheme) for syn in suite
         ]
         measurements = measure_many(configs, jobs=jobs, backend=backend,
-                                    scalar_backend=scalar_backend)
+                                    scalar_backend=scalar_backend,
+                                    profile=profile)
     else:
         measurements = [
             measure_loop(syn, options, V, seed=syn.seed, scheme=scheme,
-                         backend=backend, scalar_backend=scalar_backend)
+                         backend=backend, scalar_backend=scalar_backend,
+                         profile=profile)
             for syn in suite
         ]
     return SuiteResult(scheme=measurements[0].scheme, measurements=measurements)
@@ -229,23 +286,31 @@ class SweepConfig:
 
 
 def _measure_sweep_chunk(
-    job: tuple[list[SweepConfig], str, str]
-) -> list[Measurement]:
+    job: tuple[list[SweepConfig], str, str, str | None, bool]
+) -> tuple[list[Measurement], PhaseProfile | None]:
     """Worker entry point: re-synthesize and measure a whole chunk.
 
     Module-level (picklable); taking a *list* of configs per task
     amortizes the executor's per-task pickling/dispatch overhead and
-    lets consecutive configs share the worker's simdize memo.
+    lets consecutive configs share the worker's simdize memo.  The job
+    carries the parent's cache directory (None = leave this process's
+    setting alone, "" = disabled) so all workers share one disk cache,
+    and a flag asking for a phase profile to ship back.
     """
-    chunk, backend, scalar_backend = job
+    chunk, backend, scalar_backend, cache_dir, want_profile = job
+    if cache_dir is not None:
+        set_cache_dir(Path(cache_dir) if cache_dir else None)
+    profile = PhaseProfile() if want_profile else None
     out = []
     for config in chunk:
-        syn = synthesize(config.params, config.seed, config.V)
+        with timed(profile, "synthesize"):
+            syn = synthesize(config.params, config.seed, config.V)
         out.append(measure_loop(syn, config.options, config.V,
                                 seed=config.seed, scheme=config.scheme,
                                 backend=backend,
-                                scalar_backend=scalar_backend))
-    return out
+                                scalar_backend=scalar_backend,
+                                profile=profile))
+    return out, profile
 
 
 def measure_many(
@@ -253,6 +318,7 @@ def measure_many(
     jobs: int = 1,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile: PhaseProfile | None = None,
 ) -> list[Measurement]:
     """Measure many sweep configs, optionally fanned over processes.
 
@@ -261,18 +327,33 @@ def measure_many(
     ``jobs`` submits manually batched chunks to a
     ``ProcessPoolExecutor`` — one task per chunk, ~4 chunks per worker
     — so task pickling is amortized over many configs.  Each worker
-    keeps its own memo.  Determinism is per-config (seeded), not
-    per-schedule.
+    keeps its own memo but shares the parent's *disk* cache directory,
+    so lowering done by one worker is a disk hit for the rest.
+    Determinism is per-config (seeded), not per-schedule.  When a
+    ``profile`` is passed, workers time their phases and the parent
+    merges every worker profile into it.
     """
+    want_profile = profile is not None
     if jobs <= 1 or len(configs) <= 1:
-        return _measure_sweep_chunk((configs, backend, scalar_backend))
+        results, chunk_profile = _measure_sweep_chunk(
+            (configs, backend, scalar_backend, None, want_profile)
+        )
+        if profile is not None:
+            profile.merge(chunk_profile)
+        return results
+    cache_root = current_cache_dir()
+    cache_dir = str(cache_root) if cache_root is not None else ""
     chunksize = max(1, -(-len(configs) // (jobs * 4)))
     chunks = [
-        (configs[i:i + chunksize], backend, scalar_backend)
+        (configs[i:i + chunksize], backend, scalar_backend, cache_dir,
+         want_profile)
         for i in range(0, len(configs), chunksize)
     ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         results: list[Measurement] = []
-        for chunk_result in pool.map(_measure_sweep_chunk, chunks):
+        for chunk_result, chunk_profile in pool.map(_measure_sweep_chunk,
+                                                    chunks):
             results.extend(chunk_result)
+            if profile is not None:
+                profile.merge(chunk_profile)
         return results

@@ -99,6 +99,7 @@ def measure_row(
     jobs: int = 1,
     backend: str = "auto",
     scalar_backend: str = "auto",
+    profile=None,
 ) -> TableRow:
     """Measure one ``S{s}*L{l}`` row under every candidate scheme."""
     common = dict(loads=loads, statements=statements, trip=trip,
@@ -114,7 +115,8 @@ def measure_row(
         options = SimdOptions(policy=policy, reuse=reuse, unroll=unroll)
         all_compile[label] = measure_suite(ct_suite, options, V, scheme=label,
                                            jobs=jobs, backend=backend,
-                                           scalar_backend=scalar_backend)
+                                           scalar_backend=scalar_backend,
+                                           profile=profile)
 
     all_runtime: dict[str, SuiteResult] = {}
     for policy, reuse in RUNTIME_SCHEMES:
@@ -122,7 +124,8 @@ def measure_row(
         options = SimdOptions(policy=policy, reuse=reuse, unroll=unroll)
         all_runtime[label] = measure_suite(rt_suite, options, V, scheme=label,
                                            jobs=jobs, backend=backend,
-                                           scalar_backend=scalar_backend)
+                                           scalar_backend=scalar_backend,
+                                           profile=profile)
 
     best_ct = max(all_compile.values(), key=lambda r: r.speedup)
     best_rt = max(all_runtime.values(), key=lambda r: r.speedup)
@@ -137,11 +140,13 @@ def measure_row(
 
 def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
            unroll: int = BENCH_UNROLL, jobs: int = 1,
-           backend: str = "auto", scalar_backend: str = "auto") -> TableResult:
+           backend: str = "auto", scalar_backend: str = "auto",
+           profile=None) -> TableResult:
     """Table 1: speedups with 4 int32 elements per 16-byte register."""
     rows = [
         measure_row(s, l, INT32, count, trip, 16, base_seed, unroll,
-                    jobs=jobs, backend=backend, scalar_backend=scalar_backend)
+                    jobs=jobs, backend=backend, scalar_backend=scalar_backend,
+                    profile=profile)
         for s, l in TABLE_ROWS
     ]
     return TableResult(
@@ -153,11 +158,13 @@ def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
 
 def table2(count: int = 50, trip: int = 997, base_seed: int = 0,
            unroll: int = BENCH_UNROLL, jobs: int = 1,
-           backend: str = "auto", scalar_backend: str = "auto") -> TableResult:
+           backend: str = "auto", scalar_backend: str = "auto",
+           profile=None) -> TableResult:
     """Table 2: speedups with 8 int16 elements per 16-byte register."""
     rows = [
         measure_row(s, l, INT16, count, trip, 16, base_seed, unroll,
-                    jobs=jobs, backend=backend, scalar_backend=scalar_backend)
+                    jobs=jobs, backend=backend, scalar_backend=scalar_backend,
+                    profile=profile)
         for s, l in TABLE_ROWS
     ]
     return TableResult(

@@ -1,0 +1,145 @@
+"""Cross-process disk cache for compiled artifacts.
+
+The bench runner memoizes :func:`~repro.simdize.driver.simdize` results
+per process and the jit engine memoizes compiled kernels per process —
+but ``measure_many`` fans work out over a ``ProcessPoolExecutor``, and
+repeated CLI invocations are separate processes, so identical lowering
+work is redone everywhere.  This module gives those memos a shared
+disk tier: a content-addressed pickle store under ``~/.cache/repro``
+(overridable with ``REPRO_CACHE_DIR`` or ``--cache-dir``).
+
+Design rules:
+
+* **Versioned keys.** Every key embeds the package version plus a
+  per-artifact schema version (see :data:`CACHE_SCHEMA_VERSION` and the
+  artifact modules), so entries written by older code are simply never
+  hit — a stale code version means a recompute, not a wrong answer.
+* **Silent misses.** Any I/O or unpickling failure — missing file,
+  truncated write, corrupted or hostile bytes, unwritable directory —
+  degrades to a cache miss.  The cache can only make runs faster,
+  never make them fail.
+* **Atomic writes.** Entries are written to a temp file and renamed,
+  so concurrent ``measure_many`` workers sharing one directory never
+  observe half-written pickles.
+* **Self-checking entries.** Each entry stores ``(key, value)`` and a
+  ``get`` whose stored key differs (hash collision, foreign file) is a
+  miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bump when the on-disk entry layout itself changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+class DiskCache:
+    """A content-addressed pickle store with never-fail semantics."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.errors = 0
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, key: str):
+        """The cached value for ``key``, or None (silently) on any miss."""
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            stored_key, value = pickle.loads(data)
+            if stored_key != key:
+                raise ValueError("key mismatch")
+        except Exception:
+            # Corrupted, truncated, or foreign entry: a miss, not a crash.
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key``; failures are silently dropped."""
+        path = self._path(key)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((key, value), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            tmp = None
+            self.puts += 1
+        except Exception:
+            self.errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "errors": self.errors}
+
+
+# ---------------------------------------------------------------------------
+# Process-global cache selection
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+_cache: DiskCache | None | object = _UNSET
+
+
+def default_cache_dir() -> Path | None:
+    """The directory ``get_cache`` uses when none was set explicitly.
+
+    ``REPRO_CACHE_DIR`` overrides the default of ``~/.cache/repro``;
+    setting it to an empty string disables disk caching entirely.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return Path(env) if env else None
+    return Path.home() / ".cache" / "repro"
+
+
+def get_cache() -> DiskCache | None:
+    """The process-wide disk cache, or None when disk caching is off."""
+    global _cache
+    if _cache is _UNSET:
+        root = default_cache_dir()
+        _cache = DiskCache(root) if root is not None else None
+    return _cache  # type: ignore[return-value]
+
+
+def set_cache_dir(path: str | Path | None) -> None:
+    """Point the process-wide cache at ``path`` (None disables it)."""
+    global _cache
+    _cache = DiskCache(path) if path is not None else None
+
+
+def reset_cache_dir() -> None:
+    """Forget any explicit choice; resolve the default again lazily."""
+    global _cache
+    _cache = _UNSET
+
+
+def current_cache_dir() -> Path | None:
+    """The directory the process-wide cache writes to (None when off)."""
+    cache = get_cache()
+    return cache.root if cache is not None else None

@@ -30,6 +30,7 @@ import sys
 
 from repro.errors import SimdalError
 from repro.lang import compile_source
+from repro.machine.backend import BACKEND_CHOICES, SCALAR_BACKEND_CHOICES
 from repro.simdize.options import SimdOptions
 
 
@@ -64,6 +65,39 @@ def _add_simd_options(parser: argparse.ArgumentParser) -> None:
                         help="vector register length in bytes")
 
 
+def _add_perf_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="auto", dest="exec_backend",
+                        choices=list(BACKEND_CHOICES),
+                        help="execution engine (auto = numpy when available; "
+                             "jit compiles each program once and caches it)")
+    parser.add_argument("--scalar-backend", default="auto",
+                        dest="scalar_backend",
+                        choices=list(SCALAR_BACKEND_CHOICES),
+                        help="scalar-reference engine (auto = numpy when "
+                             "available)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-clock timings and cache "
+                             "hit rates")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk cache for compiled artifacts (default "
+                             "~/.cache/repro or $REPRO_CACHE_DIR; '' disables)")
+
+
+def _apply_cache_dir(args: argparse.Namespace) -> None:
+    if args.cache_dir is not None:
+        from repro.cache import set_cache_dir
+
+        set_cache_dir(args.cache_dir if args.cache_dir else None)
+
+
+def _make_profile(args: argparse.Namespace):
+    if not args.profile:
+        return None
+    from repro.profiling import PhaseProfile
+
+    return PhaseProfile()
+
+
 def _bindings(args: argparse.Namespace) -> tuple[int | None, dict[str, int]]:
     scalars: dict[str, int] = {}
     for binding in args.set or []:
@@ -89,12 +123,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro import run_and_verify
     from repro.simdize.driver import simdize
 
+    _apply_cache_dir(args)
+    profile = _make_profile(args)
     loop = compile_source(_read_source(args.file), name=args.name)
     result = simdize(loop, args.V, _options(args))
     trip, scalars = _bindings(args)
     report = run_and_verify(result.program, seed=args.seed, trip=trip,
                             scalars=scalars, backend=args.exec_backend,
-                            scalar_backend=args.scalar_backend)
+                            scalar_backend=args.scalar_backend,
+                            profile=profile)
     print(f"verified: simdized execution matches scalar semantics "
           f"(trip {report.trip})")
     print(f"policy {result.policy}, static stream shifts {result.shift_count}")
@@ -106,6 +143,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if report.used_fallback:
         print("note: the engine took a fallback path (guarded scalar run "
               "for small trips, or per-iteration steady execution)")
+    if profile is not None:
+        print()
+        print(profile.format())
     return 0
 
 
@@ -168,9 +208,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import coverage_sweep, figure11, figure12, table1, table2
 
+    _apply_cache_dir(args)
+    profile = _make_profile(args)
     sweep = dict(count=args.count, trip=args.trip_count, jobs=args.jobs,
                  backend=args.exec_backend,
-                 scalar_backend=args.scalar_backend)
+                 scalar_backend=args.scalar_backend, profile=profile)
     builders = {
         "table1": lambda: table1(**sweep),
         "table2": lambda: table2(**sweep),
@@ -180,6 +222,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     }
     result = builders[args.name]()
     print(result.format())
+    if profile is not None:
+        print()
+        print(profile.format())
     return 0
 
 
@@ -208,12 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set", action="append", metavar="NAME=VALUE",
                    help="bind a runtime scalar")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", default="auto", dest="exec_backend",
-                   choices=["auto", "bytes", "numpy"],
-                   help="execution engine (auto = numpy when available)")
-    p.add_argument("--scalar-backend", default="auto", dest="scalar_backend",
-                   choices=["auto", "bytes", "numpy"],
-                   help="scalar-reference engine (auto = numpy when available)")
+    _add_perf_options(p)
     _add_simd_options(p)
     p.set_defaults(func=cmd_run)
 
@@ -245,12 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="loop trip count (paper uses ~1000)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep (1 = serial)")
-    p.add_argument("--backend", default="auto", dest="exec_backend",
-                   choices=["auto", "bytes", "numpy"],
-                   help="execution engine (auto = numpy when available)")
-    p.add_argument("--scalar-backend", default="auto", dest="scalar_backend",
-                   choices=["auto", "bytes", "numpy"],
-                   help="scalar-reference engine (auto = numpy when available)")
+    _add_perf_options(p)
     p.set_defaults(func=cmd_bench)
 
     return parser

@@ -11,6 +11,7 @@ from repro.machine.backend import (
     default_backend_name,
     get_backend,
     get_scalar_backend,
+    jit_compile_stats,
     numpy_available,
 )
 from repro.machine.counters import OpCounters
@@ -33,7 +34,7 @@ __all__ = [
     "BytesBackend", "BytesScalarBackend",
     "ExecutionBackend", "ScalarBackend",
     "default_backend_name", "get_backend", "get_scalar_backend",
-    "numpy_available",
+    "jit_compile_stats", "numpy_available",
     "VectorRunResult", "run_vector", "Memory", "RunBindings",
     "ScalarRunResult", "ideal_scalar_opd", "ideal_scalar_ops",
     "reference_counters", "run_scalar",

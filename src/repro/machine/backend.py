@@ -5,7 +5,9 @@ Two *pairs* of engines interpret the same inputs:
 * **Vector backends** (:class:`ExecutionBackend`) execute a
   :class:`~repro.vir.program.VProgram` — ``bytes`` is the byte-level
   reference interpreter (:mod:`repro.machine.interp`), ``numpy`` the
-  batched array backend (:mod:`repro.machine.npbackend`).
+  batched array backend (:mod:`repro.machine.npbackend`), ``jit`` the
+  compile-once kernel backend (:mod:`repro.machine.jit`) that lowers
+  each program to a cached fused-NumPy closure.
 * **Scalar backends** (:class:`ScalarBackend`) execute the original
   :class:`~repro.ir.expr.Loop` as the paper's byte-for-byte reference
   — ``bytes`` is the per-iteration interpreter
@@ -40,7 +42,7 @@ from repro.machine.trace import Trace
 from repro.vir.program import VProgram
 
 #: Names accepted wherever a backend is selected (CLI, verify, bench).
-BACKEND_CHOICES = ("auto", "bytes", "numpy")
+BACKEND_CHOICES = ("auto", "bytes", "numpy", "jit")
 #: Names accepted wherever a scalar-reference engine is selected.
 SCALAR_BACKEND_CHOICES = ("auto", "bytes", "numpy")
 
@@ -114,9 +116,31 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
         from repro.machine.npbackend import NumpyBackend
 
         return NumpyBackend()
+    if name == "jit":
+        if not numpy_available():
+            raise MachineError(
+                "the jit execution backend needs numpy installed "
+                "(pip install 'repro[fast]'); use backend='bytes' or 'auto'"
+            )
+        from repro.machine.jit import JitBackend
+
+        return JitBackend()
     raise MachineError(
         f"unknown execution backend {name!r}; choose from {BACKEND_CHOICES}"
     )
+
+
+def jit_compile_stats() -> dict:
+    """A snapshot of the jit engine's compile/cache counters.
+
+    Import-free on purpose: when the jit module was never loaded there
+    is nothing to report and the (possibly numpy-less) interpreter must
+    not be forced to import it, so this returns ``{}``.
+    """
+    import sys
+
+    module = sys.modules.get("repro.machine.jit")
+    return dict(module.STATS) if module is not None else {}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,107 @@
+"""Lightweight phase-timing profile for the measurement pipeline.
+
+A :class:`PhaseProfile` accumulates wall-clock seconds per pipeline
+phase — ``synthesize`` / ``simdize`` / ``compile`` / ``execute`` /
+``verify`` — plus event counters (cache hits and misses), so a sweep
+can report *where* its time went and how well the compile-side caches
+worked instead of asserting it.  Everything is optional: every
+pipeline entry point takes ``profile=None`` and skips all bookkeeping
+when no profile is passed, so the hot path pays nothing by default.
+
+Profiles merge, which is how ``measure_many`` aggregates the profiles
+its worker processes send back with their measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Pipeline phases in reporting order.
+PHASES = ("synthesize", "simdize", "compile", "execute", "verify")
+
+
+@dataclass
+class PhaseProfile:
+    """Accumulated seconds per phase and event counters."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, phase: str, dt: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + dt
+
+    def count(self, name: str, k: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + k
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def merge(self, other: "PhaseProfile | None") -> None:
+        if other is None:
+            return
+        for phase, dt in other.seconds.items():
+            self.add(phase, dt)
+        for name, k in other.counts.items():
+            self.count(name, k)
+
+    def hit_rate(self, name: str) -> float | None:
+        """Hits over lookups for counter pair ``{name}_hits``/``{name}_misses``."""
+        hits = self.counts.get(f"{name}_hits", 0)
+        misses = self.counts.get(f"{name}_misses", 0)
+        total = hits + misses
+        return hits / total if total else None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (used by ``BENCH_interp.json``)."""
+        return {
+            "seconds": {k: round(v, 4) for k, v in self.seconds.items()},
+            "counts": dict(self.counts),
+        }
+
+    def format(self) -> str:
+        """A human-readable phase table with cache hit rates."""
+        lines = ["phase timings:"]
+        known = [p for p in PHASES if p in self.seconds]
+        extra = sorted(set(self.seconds) - set(known))
+        total = self.total_seconds
+        for phase in known + extra:
+            dt = self.seconds[phase]
+            share = f"{dt / total * 100:5.1f}%" if total else "     -"
+            lines.append(f"  {phase:<12s} {dt:9.4f} s  {share}")
+        lines.append(f"  {'total':<12s} {total:9.4f} s")
+        cache_lines = []
+        for name in ("simdize_memo", "simdize_disk", "kernel_memory",
+                     "kernel_disk"):
+            rate = self.hit_rate(name)
+            if rate is not None:
+                hits = self.counts.get(f"{name}_hits", 0)
+                misses = self.counts.get(f"{name}_misses", 0)
+                cache_lines.append(
+                    f"  {name:<14s} {hits}/{hits + misses} hits "
+                    f"({rate * 100:.0f}%)"
+                )
+        if cache_lines:
+            lines.append("cache hit rates:")
+            lines.extend(cache_lines)
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(profile: PhaseProfile | None, phase: str):
+    """Time a block into ``profile``; no-op when ``profile`` is None."""
+    if profile is None:
+        yield
+        return
+    with profile.phase(phase):
+        yield

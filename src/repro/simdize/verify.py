@@ -22,10 +22,12 @@ from repro.machine.backend import (
     ScalarBackend,
     get_backend,
     get_scalar_backend,
+    jit_compile_stats,
 )
 from repro.machine.counters import OpCounters
 from repro.machine.memory import Memory
 from repro.machine.scalar import RunBindings
+from repro.profiling import PhaseProfile, timed
 from repro.vir.program import VProgram
 
 
@@ -99,6 +101,7 @@ def verify_equivalence(
     bindings: RunBindings | None = None,
     backend: str | ExecutionBackend = "auto",
     scalar_backend: str | ScalarBackend = "auto",
+    profile: PhaseProfile | None = None,
 ) -> EquivalenceReport:
     """Run both executions on clones of ``mem``; raise on any mismatch.
 
@@ -108,7 +111,10 @@ def verify_equivalence(
     :func:`~repro.machine.backend.get_scalar_backend`, or engine
     instances).  Counters and memory are backend-invariant on both
     axes, so the report is the same whichever engines ran — only the
-    wall-clock differs.
+    wall-clock differs.  With a ``profile``, the executions are timed
+    into the ``execute`` phase — minus any jit kernel-compilation time,
+    which is re-attributed to ``compile`` along with the kernel cache
+    hit/miss counters — and the byte comparison into ``verify``.
     """
     bindings = bindings or RunBindings()
     loop = program.source
@@ -121,10 +127,16 @@ def verify_equivalence(
 
     scalar_mem = mem.clone()
     vector_mem = mem.clone()
-    scalar_result = scalar_engine.run(loop, space, scalar_mem, bindings)
-    vector_result = engine.run(program, space, vector_mem, bindings)
+    before = jit_compile_stats() if profile is not None else {}
+    with timed(profile, "execute"):
+        scalar_result = scalar_engine.run(loop, space, scalar_mem, bindings)
+        vector_result = engine.run(program, space, vector_mem, bindings)
+    if profile is not None:
+        _attribute_jit_compile(profile, before, jit_compile_stats())
 
-    if scalar_mem.snapshot() != vector_mem.snapshot():
+    with timed(profile, "verify"):
+        matched = scalar_mem.snapshot() == vector_mem.snapshot()
+    if not matched:
         detail = _first_mismatch(scalar_mem, vector_mem, space)
         raise VerificationError(
             f"simdized execution diverges from scalar reference for loop "
@@ -137,6 +149,29 @@ def verify_equivalence(
         data_count=scalar_result.data_count,
         used_fallback=vector_result.used_fallback,
     )
+
+
+def _attribute_jit_compile(
+    profile: PhaseProfile, before: dict, after: dict
+) -> None:
+    """Move jit kernel-compile time out of ``execute`` into ``compile``.
+
+    The jit engine compiles lazily inside ``run()``, so without this
+    the first execution of each program would charge codegen to the
+    execute phase and hide the compile-once win the profile exists to
+    show.  Also folds the engine's kernel-cache counters (process-wide
+    deltas) into the profile's counter namespace.
+    """
+    if not after:
+        return
+    compile_s = after.get("compile_s", 0.0) - before.get("compile_s", 0.0)
+    if compile_s > 0:
+        profile.add("compile", compile_s)
+        profile.add("execute", -compile_s)
+    for stat in ("memory_hits", "memory_misses", "disk_hits", "disk_misses"):
+        delta = after.get(stat, 0) - before.get(stat, 0)
+        if delta:
+            profile.count(f"kernel_{stat}", delta)
 
 
 def _first_mismatch(a: Memory, b: Memory, space: ArraySpace) -> str:

@@ -59,3 +59,18 @@ def sequential_memory(loop: Loop, V: int = 16, residues: dict[str, int] | None =
     for arr in space.arrays():
         arr.write_all(mem, [arr.decl.dtype.wrap(k) for k in range(arr.decl.length)])
     return space, mem
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the artifact disk cache at a per-test tmpdir.
+
+    Keeps test runs from reading or polluting ~/.cache/repro, and makes
+    cache-behavior tests deterministic (every test starts cold).
+    """
+    from repro.cache import reset_cache_dir
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    reset_cache_dir()
+    yield
+    reset_cache_dir()

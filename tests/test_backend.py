@@ -44,6 +44,12 @@ class TestRegistry:
         assert engine.name == "numpy"
         assert isinstance(engine, ExecutionBackend)
 
+    @needs_numpy
+    def test_jit_backend(self):
+        engine = get_backend("jit")
+        assert engine.name == "jit"
+        assert isinstance(engine, ExecutionBackend)
+
     def test_auto_resolution(self):
         assert default_backend_name() in ("bytes", "numpy")
         assert get_backend("auto").name == default_backend_name()
@@ -52,7 +58,7 @@ class TestRegistry:
     def test_unknown_backend_rejected(self):
         with pytest.raises(MachineError, match="unknown execution backend"):
             get_backend("cuda")
-        assert set(BACKEND_CHOICES) == {"auto", "bytes", "numpy"}
+        assert set(BACKEND_CHOICES) == {"auto", "bytes", "numpy", "jit"}
 
     def test_without_numpy_auto_falls_back(self, monkeypatch):
         import repro.machine.backend as backend_mod
@@ -62,10 +68,12 @@ class TestRegistry:
         assert backend_mod.get_backend("auto").name == "bytes"
         with pytest.raises(MachineError, match="needs numpy"):
             backend_mod.get_backend("numpy")
+        with pytest.raises(MachineError, match="needs numpy"):
+            backend_mod.get_backend("jit")
 
 
 def run_both(loop, options=None, V=16, seed=0, trip=None, residues=None):
-    """Run one simdized loop under both engines; assert exact parity."""
+    """Run one simdized loop under every engine; assert exact parity."""
     result = simdize(loop, V, options or SimdOptions())
     rand = random.Random(seed)
     space = make_space(loop, V, rand, residues)
@@ -74,15 +82,17 @@ def run_both(loop, options=None, V=16, seed=0, trip=None, residues=None):
     bindings = RunBindings(trip=trip)
 
     outcomes = {}
-    for name in ("bytes", "numpy"):
+    for name in ("bytes", "numpy", "jit"):
         mem = base.clone()
         run = get_backend(name).run(result.program, space, mem, bindings)
         outcomes[name] = (mem.snapshot(), run.counters.as_dict(),
                           run.trip, run.used_fallback)
-    b, n = outcomes["bytes"], outcomes["numpy"]
-    assert b[0] == n[0], "memory images differ between backends"
-    assert b[1] == n[1], f"counters differ: {b[1]} vs {n[1]}"
-    assert b[2:] == n[2:]
+    b = outcomes["bytes"]
+    for name in ("numpy", "jit"):
+        n = outcomes[name]
+        assert b[0] == n[0], f"memory images differ (bytes vs {name})"
+        assert b[1] == n[1], f"counters differ (bytes vs {name}): {b[1]} vs {n[1]}"
+        assert b[2:] == n[2:]
     return outcomes["bytes"]
 
 
@@ -173,15 +183,16 @@ class TestEngineParity:
         lb.assign(a[3], b[1] + c[6])
         run_both(lb.build(), SimdOptions(reuse="sp", unroll=2), seed=5)
 
-    def test_figure_sweep_never_falls_back(self):
-        """No Figure 11/12 sweep configuration may take the numpy
-        backend's per-iteration path (they are all batchable now)."""
+    @pytest.mark.parametrize("backend", ["numpy", "jit"])
+    def test_figure_sweep_never_falls_back(self, backend):
+        """No Figure 11/12 sweep configuration may take the batched
+        engines' per-iteration path (they are all batchable now)."""
         from repro.bench import figure_configs
         from repro.bench.runner import _cached_simdize
         from repro.bench.synth import synthesize
         from repro.simdize.verify import fill_random as fill
 
-        engine = get_backend("numpy")
+        engine = get_backend(backend)
         for label, config in figure_configs(False, count=1, trip=101):
             syn = synthesize(config.params, config.seed, config.V)
             result = _cached_simdize(syn.loop, config.V, config.options)

@@ -195,3 +195,74 @@ class TestRunnerAndTables:
         best = fig.best()
         assert best.total <= fig.bar("ZERO").total
         assert "total" in fig.format()
+
+
+class TestSimdizeCache:
+    """The per-process simdize memo is a bounded LRU, not a FIFO."""
+
+    @pytest.fixture(autouse=True)
+    def _small_empty_cache(self, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "_SIMDIZE_CACHE_MAX", 3)
+        runner._SIMDIZE_CACHE.clear()
+        yield
+        runner._SIMDIZE_CACHE.clear()
+
+    @staticmethod
+    def _loops(n):
+        from repro.ir import LoopBuilder
+
+        loops = []
+        for k in range(n):
+            lb = LoopBuilder(trip=40 + k)
+            a = lb.array("a", "int32", 128)
+            b = lb.array("b", "int32", 128)
+            lb.assign(a[1], b[2])
+            loops.append(lb.build())
+        return loops
+
+    def test_hit_refreshes_recency(self):
+        """Touching an old entry saves it from the next eviction."""
+        from repro.bench.runner import _SIMDIZE_CACHE, _cached_simdize
+
+        loops = self._loops(4)
+        options = SimdOptions()
+        for loop in loops[:3]:
+            _cached_simdize(loop, 16, options)
+        assert len(_SIMDIZE_CACHE) == 3
+        _cached_simdize(loops[0], 16, options)   # hit: loops[0] now newest
+        _cached_simdize(loops[3], 16, options)   # overflow: evicts loops[1]
+        keys = {sig for sig, _, _ in _SIMDIZE_CACHE}
+        assert loops[0].signature() in keys      # survived (a FIFO would drop it)
+        assert loops[1].signature() not in keys  # the true least-recent went
+        assert loops[3].signature() in keys
+        assert len(_SIMDIZE_CACHE) == 3
+
+    def test_hit_returns_same_object_and_counts(self):
+        from repro.bench.runner import _cached_simdize
+        from repro.profiling import PhaseProfile
+
+        loop = self._loops(1)[0]
+        profile = PhaseProfile()
+        first = _cached_simdize(loop, 16, SimdOptions(), profile)
+        second = _cached_simdize(loop, 16, SimdOptions(), profile)
+        assert first is second
+        assert profile.counts["simdize_memo_misses"] == 1
+        assert profile.counts["simdize_memo_hits"] == 1
+
+    def test_disk_cache_survives_memo_clear(self):
+        """A cleared memo refills from the disk cache without re-running
+        the simdizer (the cross-worker sharing path)."""
+        from repro.bench import runner
+        from repro.profiling import PhaseProfile
+
+        loop = self._loops(1)[0]
+        first = runner._cached_simdize(loop, 16, SimdOptions())
+        runner._SIMDIZE_CACHE.clear()
+        profile = PhaseProfile()
+        second = runner._cached_simdize(loop, 16, SimdOptions(), profile)
+        assert profile.counts.get("simdize_disk_hits", 0) == 1
+        assert second is not first            # deserialized copy …
+        assert (second.program.source.signature()
+                == first.program.source.signature())  # … of the same result

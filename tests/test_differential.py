@@ -1,12 +1,14 @@
-"""Differential property test: bytes and numpy engines are equivalent.
+"""Differential property test: bytes, numpy, and jit engines agree.
 
 Hypothesis draws random synthesized loops, alignments, trip counts,
-and scheme combinations; for every draw both engines of **both backend
-axes** — the vector-program executors and the scalar-reference
-executors — must produce byte-identical final memory **and** identical
-operation counters.  This is the property that keeps the batched NumPy
-engines honest against their byte oracles — including the guarded
-scalar fallback, batched reductions, and colliding-window batches.
+and scheme combinations; for every draw all engines of **both backend
+axes** — the vector-program executors (bytes / numpy / jit) and the
+scalar-reference executors (bytes / numpy) — must produce
+byte-identical final memory **and** identical operation counters.
+This is the property that keeps the batched NumPy engine and the
+compile-once jit engine honest against their byte oracles — including
+the guarded scalar fallback, batched reductions, and colliding-window
+batches.
 """
 
 import random
@@ -74,16 +76,19 @@ def test_backends_agree_on_random_loops(case):
     bindings = RunBindings(trip=trip)
 
     outcomes = {}
-    for name in ("bytes", "numpy"):
+    for name in ("bytes", "numpy", "jit"):
         mem = base.clone()
         run = get_backend(name).run(result.program, space, mem, bindings)
         outcomes[name] = (mem.snapshot(), run.counters.as_dict(),
                           run.trip, run.used_fallback)
 
-    b, n = outcomes["bytes"], outcomes["numpy"]
-    assert b[0] == n[0], "final memory differs between backends"
-    assert b[1] == n[1], f"operation counters differ:\n{b[1]}\n{n[1]}"
-    assert b[2:] == n[2:]
+    b = outcomes["bytes"]
+    for name in ("numpy", "jit"):
+        n = outcomes[name]
+        assert b[0] == n[0], f"final memory differs (bytes vs {name})"
+        assert b[1] == n[1], \
+            f"operation counters differ (bytes vs {name}):\n{b[1]}\n{n[1]}"
+        assert b[2:] == n[2:]
 
     # Second axis: the scalar-reference engines must agree too.
     scalar_outcomes = {}
