@@ -19,9 +19,11 @@ from repro.bench.figures import (
 )
 from repro.bench.lowerbound import LowerBound, lower_bound, peak_speedup, seq_opd
 from repro.bench.runner import (
+    SWEEP_MODES,
     Measurement,
     SuiteResult,
     SweepConfig,
+    measure_batch,
     measure_loop,
     measure_many,
     measure_suite,
@@ -49,8 +51,8 @@ __all__ = [
     "FigureBar", "FigureResult", "figure", "figure11", "figure12",
     "figure_configs",
     "LowerBound", "lower_bound", "peak_speedup", "seq_opd",
-    "Measurement", "SuiteResult", "SweepConfig", "measure_loop",
-    "measure_many", "measure_suite",
+    "SWEEP_MODES", "Measurement", "SuiteResult", "SweepConfig",
+    "measure_batch", "measure_loop", "measure_many", "measure_suite",
     "MAX_OFFSET", "SynthParams", "SynthesizedLoop", "synthesize",
     "synthesize_suite",
     "TABLE_ROWS", "TableResult", "TableRow", "measure_row", "table1", "table2",

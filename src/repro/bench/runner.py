@@ -32,17 +32,29 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
 from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize
 from repro.cache import current_cache_dir, get_cache, set_cache_dir
+from repro.errors import BenchError
+from repro.machine.backend import numpy_available
 from repro.machine.scalar import RunBindings
 from repro.profiling import PhaseProfile, timed
 from repro.simdize.driver import SimdizeResult, simdize
 from repro.simdize.options import SimdOptions
-from repro.simdize.verify import fill_random, make_space, verify_equivalence
+from repro.simdize.verify import (
+    fill_random,
+    make_space,
+    verify_equivalence,
+    verify_equivalence_batch,
+)
+
+#: Accepted ``sweep_mode`` values: ``periter`` measures configs one at
+#: a time (the historical path); ``batched`` groups configs by program
+#: signature and executes each class as one batched kernel call.
+SWEEP_MODES = ("periter", "batched")
 
 #: Bump when SimdizeResult's shape (or anything it transitively pickles)
 #: changes: stale disk entries must miss, not deserialize wrongly.
@@ -158,7 +170,20 @@ def measure_loop(
     report = verify_equivalence(result.program, space, mem, bindings,
                                 backend=backend, scalar_backend=scalar_backend,
                                 profile=profile)
+    return _finish_measurement(syn, options, V, scheme, result, report)
 
+
+def _finish_measurement(
+    syn: SynthesizedLoop,
+    options: SimdOptions,
+    V: int,
+    scheme: str | None,
+    result: SimdizeResult,
+    report,
+) -> Measurement:
+    """Score one verified run — shared by the per-config and batched
+    paths so both produce field-identical Measurements."""
+    loop = syn.loop
     lb = lower_bound(
         loop,
         V,
@@ -244,15 +269,16 @@ def measure_suite(
     backend: str = "auto",
     scalar_backend: str = "auto",
     profile: PhaseProfile | None = None,
+    sweep_mode: str = "periter",
 ) -> SuiteResult:
     """Measure every loop of a suite under one scheme."""
-    if jobs > 1:
+    if jobs > 1 or sweep_mode != "periter":
         configs = [
             SweepConfig(syn.params, syn.seed, options, V, scheme) for syn in suite
         ]
         measurements = measure_many(configs, jobs=jobs, backend=backend,
                                     scalar_backend=scalar_backend,
-                                    profile=profile)
+                                    profile=profile, sweep_mode=sweep_mode)
     else:
         measurements = [
             measure_loop(syn, options, V, seed=syn.seed, scheme=scheme,
@@ -285,6 +311,166 @@ class SweepConfig:
     scheme: str | None = None
 
 
+# ---------------------------------------------------------------------------
+# Structure-batched sweeps
+# ---------------------------------------------------------------------------
+
+def _program_class_key(config: SweepConfig, result: SimdizeResult):
+    """The signature-class grouping key for one simdized config.
+
+    With NumPy present this is the jit engine's structural program
+    signature — the exact key its kernel cache uses, so every config
+    in a class shares one compiled kernel and one batched call.
+    Without NumPy, batching degrades to per-run execution anyway
+    (:func:`~repro.machine.backend.run_vector_batch`), so the loop
+    signature tuple is key enough.
+    """
+    if numpy_available():
+        from repro.machine.jit import _cached_signature
+
+        return _cached_signature(result.program)
+    return (result.program.source.signature(), config.V, config.options)
+
+
+def measure_batch(
+    configs: list[SweepConfig],
+    backend: str = "auto",
+    scalar_backend: str = "auto",
+    profile: PhaseProfile | None = None,
+) -> list[Measurement]:
+    """Measure sweep configs grouped into program-signature classes.
+
+    Element-wise identical to :func:`measure_loop` per config — same
+    synthesis, same seeded random memories, same verification oracle,
+    same Measurement fields — but the vector executions of each
+    signature class happen as ONE batched backend call
+    (:func:`~repro.simdize.verify.verify_equivalence_batch`) instead
+    of one per config.  Because batching is the whole point here,
+    ``backend="auto"`` resolves to the jit engine (the only one with
+    a native config-batch axis) when NumPy is available; its results
+    are bit-identical to the bytes oracle, so the only observable
+    difference is wall clock.  Results come back in input order.
+
+    With a ``profile``, per-class stats accumulate under
+    ``batch_classes`` / ``batch_configs`` / ``batch_fallbacks``.
+    """
+    if backend == "auto" and numpy_available():
+        backend = "jit"
+    syns: list[SynthesizedLoop] = []
+    for config in configs:
+        with timed(profile, "synthesize"):
+            syns.append(synthesize(config.params, config.seed, config.V))
+    simdized: list[SimdizeResult] = []
+    classes: "OrderedDict[object, list[int]]" = OrderedDict()
+    for idx, (config, syn) in enumerate(zip(configs, syns)):
+        with timed(profile, "simdize"):
+            result = _cached_simdize(syn.loop, config.V, config.options,
+                                     profile)
+        simdized.append(result)
+        classes.setdefault(_program_class_key(config, result), []).append(idx)
+    measurements: list[Measurement | None] = [None] * len(configs)
+    for indices in classes.values():
+        items = []
+        for idx in indices:
+            config, syn = configs[idx], syns[idx]
+            # Exactly measure_loop's derivation: the data rng seeds
+            # from the config seed, so batch composition cannot change
+            # any config's memory image.
+            rng = random.Random(config.seed ^ 0x5EED)
+            space = make_space(syn.loop, config.V, rng, syn.base_residues)
+            mem = space.make_memory()
+            fill_random(space, mem, rng)
+            bindings = RunBindings(
+                trip=syn.params.trip if syn.loop.runtime_upper else None
+            )
+            items.append((simdized[idx].program, space, mem, bindings))
+        reports = verify_equivalence_batch(
+            items, backend=backend, scalar_backend=scalar_backend,
+            profile=profile,
+        )
+        if profile is not None:
+            profile.count("batch_classes")
+            profile.count("batch_configs", len(indices))
+            fallbacks = sum(1 for r in reports if r.used_fallback)
+            if fallbacks:
+                profile.count("batch_fallbacks", fallbacks)
+        for idx, report in zip(indices, reports):
+            measurements[idx] = _finish_measurement(
+                syns[idx], configs[idx].options, configs[idx].V,
+                configs[idx].scheme, simdized[idx], report,
+            )
+    return measurements
+
+
+def _disk_stats_snapshot() -> dict:
+    cache = get_cache()
+    return cache.stats() if cache is not None else {}
+
+
+def _fold_disk_stats(profile: PhaseProfile | None, before: dict) -> None:
+    """Fold disk-tier stat *deltas* into a profile.
+
+    :class:`~repro.cache.DiskCache` counters are cumulative per
+    process, and pool workers are reused across chunks — shipping raw
+    totals with every chunk profile would double-count them when the
+    parent merges.  Snapshot before the chunk, fold the delta after.
+    """
+    if profile is None:
+        return
+    after = _disk_stats_snapshot()
+    if not after:
+        return
+    for stat in ("evictions",):
+        delta = after.get(stat, 0) - before.get(stat, 0)
+        if delta:
+            profile.count(f"disk_{stat}", delta)
+
+
+def _measure_batch_chunk(
+    job: tuple[list[SweepConfig], str, str, str | None, bool]
+) -> tuple[list[Measurement], PhaseProfile | None]:
+    """Worker entry point for batched sweeps: one or more whole
+    signature classes per task (same job tuple as
+    :func:`_measure_sweep_chunk`)."""
+    chunk, backend, scalar_backend, cache_dir, want_profile = job
+    if cache_dir is not None:
+        set_cache_dir(Path(cache_dir) if cache_dir else None)
+    profile = PhaseProfile() if want_profile else None
+    before = _disk_stats_snapshot() if want_profile else {}
+    out = measure_batch(chunk, backend=backend,
+                        scalar_backend=scalar_backend, profile=profile)
+    _fold_disk_stats(profile, before)
+    return out, profile
+
+
+def _batched_bins(configs: list[SweepConfig], jobs: int) -> list[list[int]]:
+    """Partition config indices into worker bins, whole families at a
+    time.
+
+    Families group by ``(params, V)`` — computable without synthesizing
+    and coarser than any program-signature class (configs lowered from
+    different param sets can't share a program; different *schemes* of
+    one param set sometimes can) — so no class is ever split across
+    processes and every worker batches maximally.  Runtime-trip params
+    normalize ``trip`` out of the key: the trip count is a run-time
+    binding there, so configs differing only in trip share program
+    signatures.  Greedy largest-family-first balancing keeps bins even.
+    """
+    families: "OrderedDict[object, list[int]]" = OrderedDict()
+    for idx, config in enumerate(configs):
+        params = config.params
+        if params.runtime_trip:
+            params = replace(params, trip=0)
+        families.setdefault((params, config.V), []).append(idx)
+    bins: list[list[int]] = [[] for _ in range(min(jobs, len(families)))]
+    loads = [0] * len(bins)
+    for indices in sorted(families.values(), key=len, reverse=True):
+        target = loads.index(min(loads))
+        bins[target].extend(indices)
+        loads[target] += len(indices)
+    return [b for b in bins if b]
+
+
 def _measure_sweep_chunk(
     job: tuple[list[SweepConfig], str, str, str | None, bool]
 ) -> tuple[list[Measurement], PhaseProfile | None]:
@@ -301,6 +487,7 @@ def _measure_sweep_chunk(
     if cache_dir is not None:
         set_cache_dir(Path(cache_dir) if cache_dir else None)
     profile = PhaseProfile() if want_profile else None
+    before = _disk_stats_snapshot() if want_profile else {}
     out = []
     for config in chunk:
         with timed(profile, "synthesize"):
@@ -310,6 +497,7 @@ def _measure_sweep_chunk(
                                 backend=backend,
                                 scalar_backend=scalar_backend,
                                 profile=profile))
+    _fold_disk_stats(profile, before)
     return out, profile
 
 
@@ -319,21 +507,66 @@ def measure_many(
     backend: str = "auto",
     scalar_backend: str = "auto",
     profile: PhaseProfile | None = None,
+    sweep_mode: str = "periter",
 ) -> list[Measurement]:
     """Measure many sweep configs, optionally fanned over processes.
 
-    Results are returned in input order.  ``jobs <= 1`` runs serially in
-    this process (and benefits from the shared simdize memo); larger
-    ``jobs`` submits manually batched chunks to a
-    ``ProcessPoolExecutor`` — one task per chunk, ~4 chunks per worker
-    — so task pickling is amortized over many configs.  Each worker
-    keeps its own memo but shares the parent's *disk* cache directory,
-    so lowering done by one worker is a disk hit for the rest.
-    Determinism is per-config (seeded), not per-schedule.  When a
-    ``profile`` is passed, workers time their phases and the parent
-    merges every worker profile into it.
+    Results are returned in input order and element-wise identical in
+    every ``sweep_mode`` — the modes only change *how* the vector
+    executions are dispatched, never what any config computes.
+
+    ``sweep_mode="periter"`` measures one config at a time.
+    ``jobs <= 1`` runs serially in this process (and benefits from the
+    shared simdize memo); larger ``jobs`` submits manually batched
+    chunks to a ``ProcessPoolExecutor`` — one task per chunk, ~4 chunks
+    per worker — so task pickling is amortized over many configs.
+
+    ``sweep_mode="batched"`` routes through :func:`measure_batch`:
+    configs grouped into program-signature classes, one config-batched
+    kernel call per class.  With ``jobs > 1`` each worker receives
+    whole config *families* (``(params, V, options)`` groups — a
+    synthesis-free superset of the signature classes), so no class is
+    ever split across processes and the per-task overhead that capped
+    per-config scaling disappears with it.
+
+    Each worker keeps its own memo but shares the parent's *disk* cache
+    directory, so lowering done by one worker is a disk hit for the
+    rest.  Determinism is per-config (seeded), not per-schedule.  When
+    a ``profile`` is passed, workers time their phases and the parent
+    merges every worker profile into it; cumulative disk-cache counters
+    are folded as per-chunk deltas so reused pool workers never
+    double-count.
     """
+    if sweep_mode not in SWEEP_MODES:
+        raise BenchError(
+            f"unknown sweep mode {sweep_mode!r}; choose from {SWEEP_MODES}"
+        )
     want_profile = profile is not None
+    if sweep_mode == "batched":
+        if jobs <= 1 or len(configs) <= 1:
+            results, chunk_profile = _measure_batch_chunk(
+                (configs, backend, scalar_backend, None, want_profile)
+            )
+            if profile is not None:
+                profile.merge(chunk_profile)
+            return results
+        cache_root = current_cache_dir()
+        cache_dir = str(cache_root) if cache_root is not None else ""
+        bins = _batched_bins(configs, jobs)
+        chunks = [
+            ([configs[i] for i in indices], backend, scalar_backend,
+             cache_dir, want_profile)
+            for indices in bins
+        ]
+        measurements: list[Measurement | None] = [None] * len(configs)
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            for indices, (chunk_result, chunk_profile) in zip(
+                    bins, pool.map(_measure_batch_chunk, chunks)):
+                for idx, measurement in zip(indices, chunk_result):
+                    measurements[idx] = measurement
+                if profile is not None:
+                    profile.merge(chunk_profile)
+        return measurements
     if jobs <= 1 or len(configs) <= 1:
         results, chunk_profile = _measure_sweep_chunk(
             (configs, backend, scalar_backend, None, want_profile)

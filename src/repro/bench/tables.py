@@ -100,6 +100,7 @@ def measure_row(
     backend: str = "auto",
     scalar_backend: str = "auto",
     profile=None,
+    sweep_mode: str = "periter",
 ) -> TableRow:
     """Measure one ``S{s}*L{l}`` row under every candidate scheme."""
     common = dict(loads=loads, statements=statements, trip=trip,
@@ -116,7 +117,8 @@ def measure_row(
         all_compile[label] = measure_suite(ct_suite, options, V, scheme=label,
                                            jobs=jobs, backend=backend,
                                            scalar_backend=scalar_backend,
-                                           profile=profile)
+                                           profile=profile,
+                                           sweep_mode=sweep_mode)
 
     all_runtime: dict[str, SuiteResult] = {}
     for policy, reuse in RUNTIME_SCHEMES:
@@ -125,7 +127,8 @@ def measure_row(
         all_runtime[label] = measure_suite(rt_suite, options, V, scheme=label,
                                            jobs=jobs, backend=backend,
                                            scalar_backend=scalar_backend,
-                                           profile=profile)
+                                           profile=profile,
+                                           sweep_mode=sweep_mode)
 
     best_ct = max(all_compile.values(), key=lambda r: r.speedup)
     best_rt = max(all_runtime.values(), key=lambda r: r.speedup)
@@ -141,12 +144,12 @@ def measure_row(
 def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
            unroll: int = BENCH_UNROLL, jobs: int = 1,
            backend: str = "auto", scalar_backend: str = "auto",
-           profile=None) -> TableResult:
+           profile=None, sweep_mode: str = "periter") -> TableResult:
     """Table 1: speedups with 4 int32 elements per 16-byte register."""
     rows = [
         measure_row(s, l, INT32, count, trip, 16, base_seed, unroll,
                     jobs=jobs, backend=backend, scalar_backend=scalar_backend,
-                    profile=profile)
+                    profile=profile, sweep_mode=sweep_mode)
         for s, l in TABLE_ROWS
     ]
     return TableResult(
@@ -159,12 +162,12 @@ def table1(count: int = 50, trip: int = 997, base_seed: int = 0,
 def table2(count: int = 50, trip: int = 997, base_seed: int = 0,
            unroll: int = BENCH_UNROLL, jobs: int = 1,
            backend: str = "auto", scalar_backend: str = "auto",
-           profile=None) -> TableResult:
+           profile=None, sweep_mode: str = "periter") -> TableResult:
     """Table 2: speedups with 8 int16 elements per 16-byte register."""
     rows = [
         measure_row(s, l, INT16, count, trip, 16, base_seed, unroll,
                     jobs=jobs, backend=backend, scalar_backend=scalar_backend,
-                    profile=profile)
+                    profile=profile, sweep_mode=sweep_mode)
         for s, l in TABLE_ROWS
     ]
     return TableResult(

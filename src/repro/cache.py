@@ -24,6 +24,12 @@ Design rules:
 * **Self-checking entries.** Each entry stores ``(key, value)`` and a
   ``get`` whose stored key differs (hash collision, foreign file) is a
   miss.
+* **Bounded size.** The store holds at most ``max_bytes`` of entries
+  (``REPRO_CACHE_MAX_BYTES``, default 1 GiB, ``0`` = unlimited);
+  every ``put`` that crosses the budget evicts least-recently-*used*
+  entries first — a ``get`` hit touches the file's mtime — so long
+  sweep campaigns cannot grow the cache without limit and the hot
+  working set survives.
 """
 
 from __future__ import annotations
@@ -37,16 +43,34 @@ from pathlib import Path
 #: Bump when the on-disk entry layout itself changes.
 CACHE_SCHEMA_VERSION = 1
 
+#: Default size budget for the disk tier when neither the constructor
+#: nor ``REPRO_CACHE_MAX_BYTES`` says otherwise.
+DEFAULT_CACHE_MAX_BYTES = 1 << 30  # 1 GiB
+
+
+def _env_max_bytes() -> int:
+    """The size budget from ``REPRO_CACHE_MAX_BYTES`` (0 = unlimited)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if env is None:
+        return DEFAULT_CACHE_MAX_BYTES
+    try:
+        value = int(env)
+    except ValueError:
+        return DEFAULT_CACHE_MAX_BYTES
+    return max(0, value)
+
 
 class DiskCache:
     """A content-addressed pickle store with never-fail semantics."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, max_bytes: int | None = None):
         self.root = Path(root)
+        self.max_bytes = _env_max_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.errors = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
@@ -69,6 +93,11 @@ class DiskCache:
             self.errors += 1
             self.misses += 1
             return None
+        try:
+            # Touch for LRU recency: eviction takes oldest mtime first.
+            os.utime(path)
+        except OSError:
+            pass
         self.hits += 1
         return value
 
@@ -92,10 +121,48 @@ class DiskCache:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            return
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        Best-effort and never-fail like everything else here: entries
+        racing with concurrent workers may vanish mid-scan (fine — the
+        goal was deletion), and any other error simply leaves the cache
+        over budget until the next ``put``.
+        """
+        if not self.max_bytes:
+            return
+        try:
+            entries = []
+            total = 0
+            for path in self.root.glob("??/*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            if total <= self.max_bytes:
+                return
+            entries.sort()  # oldest mtime first
+            for _, size, path in entries:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self.evictions += 1
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        except Exception:
+            self.errors += 1
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "errors": self.errors}
+                "puts": self.puts, "errors": self.errors,
+                "evictions": self.evictions}
 
 
 # ---------------------------------------------------------------------------

@@ -212,7 +212,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     profile = _make_profile(args)
     sweep = dict(count=args.count, trip=args.trip_count, jobs=args.jobs,
                  backend=args.exec_backend,
-                 scalar_backend=args.scalar_backend, profile=profile)
+                 scalar_backend=args.scalar_backend, profile=profile,
+                 sweep_mode=args.sweep_mode)
     builders = {
         "table1": lambda: table1(**sweep),
         "table2": lambda: table2(**sweep),
@@ -285,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="loop trip count (paper uses ~1000)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep (1 = serial)")
+    p.add_argument("--sweep-mode", default="periter", dest="sweep_mode",
+                   choices=["periter", "batched"],
+                   help="sweep execution strategy: periter measures one "
+                        "config at a time; batched runs each program-"
+                        "signature class as one batched kernel call "
+                        "(identical output, less wall clock)")
     _add_perf_options(p)
     p.set_defaults(func=cmd_bench)
 

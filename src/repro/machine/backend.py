@@ -130,6 +130,23 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
     )
 
 
+def run_vector_batch(engine: ExecutionBackend, runs: list) -> list:
+    """Run ``(program, space, mem, bindings)`` tuples as one batch.
+
+    Engines with a native ``run_batch`` (the jit engine executes whole
+    signature classes in one config-batched kernel call) get the entire
+    list; every other engine degrades to per-run :meth:`run` calls with
+    identical semantics, so callers can batch against any backend and
+    the differential tests can compare batch results across the whole
+    registry.  Results come back in input order.
+    """
+    native = getattr(engine, "run_batch", None)
+    if native is not None:
+        return native(runs)
+    return [engine.run(program, space, mem, bindings)
+            for program, space, mem, bindings in runs]
+
+
 def jit_compile_stats() -> dict:
     """A snapshot of the jit engine's compile/cache counters.
 

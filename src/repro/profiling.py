@@ -94,6 +94,20 @@ class PhaseProfile:
         if cache_lines:
             lines.append("cache hit rates:")
             lines.extend(cache_lines)
+        evictions = self.counts.get("disk_evictions", 0)
+        if evictions:
+            lines.append(f"  disk cache     {evictions} evictions "
+                         f"(REPRO_CACHE_MAX_BYTES)")
+        classes = self.counts.get("batch_classes", 0)
+        if classes:
+            configs = self.counts.get("batch_configs", 0)
+            fallbacks = self.counts.get("batch_fallbacks", 0)
+            avg = configs / classes if classes else 0.0
+            line = (f"batched sweep: {configs} configs in {classes} "
+                    f"signature classes ({avg:.1f} configs/class)")
+            if fallbacks:
+                line += f", {fallbacks} fallbacks"
+            lines.append(line)
         return "\n".join(lines)
 
 

@@ -23,6 +23,7 @@ from repro.machine.backend import (
     get_backend,
     get_scalar_backend,
     jit_compile_stats,
+    run_vector_batch,
 )
 from repro.machine.counters import OpCounters
 from repro.machine.memory import Memory
@@ -149,6 +150,70 @@ def verify_equivalence(
         data_count=scalar_result.data_count,
         used_fallback=vector_result.used_fallback,
     )
+
+
+def verify_equivalence_batch(
+    items: list,
+    backend: str | ExecutionBackend = "auto",
+    scalar_backend: str | ScalarBackend = "auto",
+    profile: PhaseProfile | None = None,
+) -> list[EquivalenceReport]:
+    """Batched :func:`verify_equivalence` over one signature class.
+
+    ``items`` holds ``(program, space, mem, bindings)`` per config;
+    all programs must share one structural signature so the vector
+    side can execute as a single config-batched kernel call
+    (:func:`repro.machine.backend.run_vector_batch`).  The scalar
+    reference still runs per config — it is the per-config oracle the
+    batch is checked against — and each config's memory images are
+    compared independently, so a single diverging config raises with
+    the same diagnostics :func:`verify_equivalence` gives it.  Reports
+    come back in input order, field-identical to per-config calls.
+    """
+    engine = get_backend(backend) if isinstance(backend, str) else backend
+    scalar_engine = (
+        get_scalar_backend(scalar_backend)
+        if isinstance(scalar_backend, str)
+        else scalar_backend
+    )
+    scalar_mems = [mem.clone() for _, _, mem, _ in items]
+    vector_mems = [mem.clone() for _, _, mem, _ in items]
+    before = jit_compile_stats() if profile is not None else {}
+    with timed(profile, "execute"):
+        scalar_results = [
+            scalar_engine.run(program.source, space, smem,
+                              bindings or RunBindings())
+            for (program, space, _, bindings), smem
+            in zip(items, scalar_mems)
+        ]
+        vector_results = run_vector_batch(engine, [
+            (program, space, vmem, bindings or RunBindings())
+            for (program, space, _, bindings), vmem
+            in zip(items, vector_mems)
+        ])
+    if profile is not None:
+        _attribute_jit_compile(profile, before, jit_compile_stats())
+
+    reports = []
+    for (program, space, _, _), smem, vmem, scalar_result, vector_result \
+            in zip(items, scalar_mems, vector_mems,
+                   scalar_results, vector_results):
+        with timed(profile, "verify"):
+            matched = smem.snapshot() == vmem.snapshot()
+        if not matched:
+            detail = _first_mismatch(smem, vmem, space)
+            raise VerificationError(
+                f"simdized execution diverges from scalar reference for "
+                f"loop {program.source.name!r}: {detail}"
+            )
+        reports.append(EquivalenceReport(
+            scalar_ops=scalar_result.counters,
+            vector_ops=vector_result.counters,
+            trip=scalar_result.trip,
+            data_count=scalar_result.data_count,
+            used_fallback=vector_result.used_fallback,
+        ))
+    return reports
 
 
 def _attribute_jit_compile(
