@@ -324,7 +324,10 @@ def test_backend_speed():
             "jobs_speedup": round(batch_jobs_speedup, 2),
         },
     }
-    (ROOT / "BENCH_interp.json").write_text(json.dumps(payload, indent=2) + "\n")
+    from repro.reporting import atomic_write_text
+
+    atomic_write_text(ROOT / "BENCH_interp.json",
+                      json.dumps(payload, indent=2) + "\n")
 
     lines = [
         f"engine.run over {len(workloads)} programs (trip {SPEED_TRIP}, "

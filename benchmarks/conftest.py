@@ -42,10 +42,12 @@ def record(name: str, text: str) -> None:
     """Print regenerated results and persist them under results/."""
     print()
     print(text)
+    from repro.reporting import atomic_write_text
+
     RESULTS_DIR.mkdir(exist_ok=True)
     config = "full" if FULL else "scaled"
     path = RESULTS_DIR / f"{name}.{config}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
 
 
 @pytest.fixture

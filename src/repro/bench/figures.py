@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.runner import SuiteResult, SweepConfig, measure_many
+from repro.bench.runner import (
+    Measurement,
+    SuiteResult,
+    SweepConfig,
+    measure_many,
+)
+from repro.errors import BenchError
 from repro.bench.synth import SynthParams, synthesize_suite
 from repro.ir.types import INT32
 from repro.simdize.options import SimdOptions
@@ -143,6 +149,7 @@ def figure(
     scalar_backend: str = "auto",
     profile=None,
     sweep_mode: str = "periter",
+    run_policy=None,
 ) -> FigureResult:
     """Measure every Figure 11/12 scheme bar.
 
@@ -151,17 +158,28 @@ def figure(
     parallelizes across the whole figure, not per bar, and
     ``sweep_mode="batched"`` executes each program-signature class of
     the figure as one batched kernel call (identical numbers, less
-    wall clock).
+    wall clock).  ``run_policy`` is the sweep's
+    :class:`~repro.bench.runner.RunPolicy`; configs that still fail
+    after its retries are dropped from their bar's aggregate (a bar
+    with no surviving configs raises).
     """
     labelled = figure_configs(offset_reassoc, count, trip, V, base_seed,
                               unroll, loads)
     measurements = measure_many([c for _, c in labelled], jobs=jobs,
                                 backend=backend,
                                 scalar_backend=scalar_backend,
-                                profile=profile, sweep_mode=sweep_mode)
+                                profile=profile, sweep_mode=sweep_mode,
+                                run_policy=run_policy)
     by_label: dict[str, list] = {}
     for (label, _), m in zip(labelled, measurements):
-        by_label.setdefault(label, []).append(m)
+        if isinstance(m, Measurement):
+            by_label.setdefault(label, []).append(m)
+    empty = [label for label, _ in labelled if label not in by_label]
+    if empty:
+        raise BenchError(
+            f"every config of scheme(s) {sorted(set(empty))} failed after "
+            f"retries; see the failure summary above"
+        )
     bars = [
         _bar(SuiteResult(scheme=label, measurements=ms), label)
         for label, ms in by_label.items()

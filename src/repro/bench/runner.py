@@ -29,16 +29,23 @@ back with their measurements and the parent merges them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
-from collections import OrderedDict
+import sys
+import time
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
+from repro import faults
 from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
 from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize
 from repro.cache import current_cache_dir, get_cache, set_cache_dir
-from repro.errors import BenchError
+from repro.errors import BenchError, WorkerError
 from repro.machine.backend import numpy_available
 from repro.machine.scalar import RunBindings
 from repro.profiling import PhaseProfile, timed
@@ -270,15 +277,29 @@ def measure_suite(
     scalar_backend: str = "auto",
     profile: PhaseProfile | None = None,
     sweep_mode: str = "periter",
+    run_policy: "RunPolicy | None" = None,
 ) -> SuiteResult:
-    """Measure every loop of a suite under one scheme."""
-    if jobs > 1 or sweep_mode != "periter":
+    """Measure every loop of a suite under one scheme.
+
+    Configs that fail after the run policy's retries are dropped from the
+    aggregate (with a stderr summary from :func:`measure_many`); if
+    *every* config failed there is nothing to aggregate and a
+    :class:`~repro.errors.BenchError` is raised.
+    """
+    if jobs > 1 or sweep_mode != "periter" or run_policy is not None:
         configs = [
             SweepConfig(syn.params, syn.seed, options, V, scheme) for syn in suite
         ]
-        measurements = measure_many(configs, jobs=jobs, backend=backend,
-                                    scalar_backend=scalar_backend,
-                                    profile=profile, sweep_mode=sweep_mode)
+        rows = measure_many(configs, jobs=jobs, backend=backend,
+                            scalar_backend=scalar_backend,
+                            profile=profile, sweep_mode=sweep_mode,
+                            run_policy=run_policy)
+        measurements = [m for m in rows if isinstance(m, Measurement)]
+        if not measurements:
+            raise BenchError(
+                f"all {len(rows)} sweep configs failed after retries "
+                f"(scheme {scheme!r}); see the failure summary above"
+            )
     else:
         measurements = [
             measure_loop(syn, options, V, seed=syn.seed, scheme=scheme,
@@ -309,6 +330,206 @@ class SweepConfig:
     options: SimdOptions
     V: int = 16
     scheme: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant supervision
+# ---------------------------------------------------------------------------
+
+#: Exponential-backoff schedule for per-config retries (seconds).
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+#: Pool deaths tolerated before degrading to in-process execution.
+_POOL_DEATH_LIMIT = 2
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How a sweep survives failing configs, workers, and restarts.
+
+    ``max_retries`` bounds re-attempts of a single failing config (a
+    failing multi-config task is first split back to per-config tasks,
+    which does not consume a retry).  ``timeout`` is the per-chunk
+    wall-clock budget when running on a pool; a chunk that exceeds it
+    is treated like a worker death.  ``checkpoint`` names a JSONL
+    journal appended to as configs complete; ``resume`` replays it,
+    skipping journaled configs.
+    """
+
+    max_retries: int = 2
+    timeout: float | None = None
+    checkpoint: Path | str | None = None
+    resume: bool = False
+
+
+@dataclass
+class FailedMeasurement:
+    """A config that still failed after every retry.
+
+    Sweeps return these in-place of :class:`Measurement` rows (same
+    input order) instead of aborting; aggregation layers filter them
+    and report the loss.
+    """
+
+    config: SweepConfig
+    error: str
+    message: str
+    attempts: int
+
+    @property
+    def scheme(self) -> str:
+        return self.config.scheme or "?"
+
+    def describe(self) -> str:
+        return (f"{self.scheme} seed={self.config.seed}: {self.error}: "
+                f"{self.message} (after {self.attempts} attempts)")
+
+
+def _config_key(config: SweepConfig) -> str:
+    """Stable identity of a sweep config for checkpoint journals.
+
+    Dataclass reprs of the carried params/options are deterministic, so
+    the digest is stable across processes and runs.
+    """
+    material = repr((config.params, config.seed, config.options,
+                     config.V, config.scheme))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _measurement_to_json(m: Measurement) -> dict:
+    return asdict(m)
+
+
+def _measurement_from_json(data: dict) -> Measurement:
+    data = dict(data)
+    data["lb"] = LowerBound(**data["lb"])
+    return Measurement(**data)
+
+
+def _load_checkpoint(path: Path) -> dict[str, Measurement]:
+    """Journaled measurements by config key; tolerates torn tail lines.
+
+    A run killed mid-append can leave a truncated final line — those
+    (and any other undecodable lines) are skipped, so resume replays
+    every intact entry and simply re-measures the rest.
+    """
+    done: dict[str, Measurement] = {}
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return done
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            done[entry["key"]] = _measurement_from_json(entry["measurement"])
+        except Exception:
+            continue
+    return done
+
+
+@dataclass
+class _Task:
+    """One unit of supervised work: config indices + attempt count."""
+
+    indices: list[int]
+    attempt: int = 0
+
+
+def _supervise(tasks, worker, make_job, jobs, policy, profile,
+               on_done, on_failed) -> None:
+    """Run tasks to completion under the fault policy.
+
+    ``jobs > 1`` dispatches rounds of tasks onto a
+    ``ProcessPoolExecutor`` and waits per-future with the policy
+    timeout.  A worker death (``BrokenProcessPool``) or chunk timeout
+    tears the pool down, requeues the unfinished tasks, and counts a
+    ``pool_restart``; after :data:`_POOL_DEATH_LIMIT` deaths the
+    remaining work degrades to in-process serial execution
+    (``serial_fallbacks``) — worker faults cannot take the sweep down
+    with them.  A task-level exception splits a multi-config task back
+    to per-config tasks (``task_splits``); a single config retries
+    with exponential backoff up to ``policy.max_retries`` and then
+    reports through ``on_failed``.
+    """
+    pending = deque(tasks)
+    pool_deaths = 0
+    serial = jobs <= 1
+
+    def task_failed(task: _Task, exc: BaseException) -> None:
+        if len(task.indices) > 1:
+            if profile is not None:
+                profile.count("task_splits")
+            for idx in task.indices:
+                pending.append(_Task([idx], task.attempt + 1))
+        elif task.attempt < policy.max_retries:
+            if profile is not None:
+                profile.count("retries")
+            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** task.attempt)))
+            pending.append(_Task(task.indices, task.attempt + 1))
+        else:
+            on_failed(task.indices[0], exc, task.attempt + 1)
+
+    while pending:
+        if serial:
+            task = pending.popleft()
+            try:
+                out, chunk_profile = worker(make_job(task.indices))
+            except Exception as exc:
+                task_failed(task, exc)
+                continue
+            if profile is not None:
+                profile.merge(chunk_profile)
+            on_done(task.indices, out)
+            continue
+        round_tasks = list(pending)
+        pending.clear()
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(round_tasks)))
+        futures = [(pool.submit(worker, make_job(t.indices)), t)
+                   for t in round_tasks]
+        broken = False
+        for fut, task in futures:
+            if broken:
+                # The pool is gone; harvest whatever already finished
+                # and requeue the rest untouched (no attempt charged).
+                harvested = None
+                if fut.done():
+                    try:
+                        harvested = fut.result(timeout=0)
+                    except Exception:
+                        harvested = None
+                if harvested is not None:
+                    out, chunk_profile = harvested
+                    if profile is not None:
+                        profile.merge(chunk_profile)
+                    on_done(task.indices, out)
+                else:
+                    pending.append(task)
+                continue
+            try:
+                out, chunk_profile = fut.result(timeout=policy.timeout)
+            except (BrokenProcessPool, FuturesTimeoutError, OSError) as exc:
+                pool_deaths += 1
+                if profile is not None:
+                    profile.count("pool_restarts")
+                broken = True
+                task_failed(task, WorkerError(
+                    f"worker pool failure: {type(exc).__name__}: {exc}"
+                ))
+                continue
+            except Exception as exc:
+                task_failed(task, exc)
+                continue
+            if profile is not None:
+                profile.merge(chunk_profile)
+            on_done(task.indices, out)
+        pool.shutdown(wait=False, cancel_futures=True)
+        if pool_deaths >= _POOL_DEATH_LIMIT and not serial:
+            serial = True
+            if profile is not None:
+                profile.count("serial_fallbacks")
 
 
 # ---------------------------------------------------------------------------
@@ -420,7 +641,7 @@ def _fold_disk_stats(profile: PhaseProfile | None, before: dict) -> None:
     after = _disk_stats_snapshot()
     if not after:
         return
-    for stat in ("evictions",):
+    for stat in ("evictions", "corrupt_quarantined"):
         delta = after.get(stat, 0) - before.get(stat, 0)
         if delta:
             profile.count(f"disk_{stat}", delta)
@@ -432,6 +653,7 @@ def _measure_batch_chunk(
     """Worker entry point for batched sweeps: one or more whole
     signature classes per task (same job tuple as
     :func:`_measure_sweep_chunk`)."""
+    faults.fault("worker")
     chunk, backend, scalar_backend, cache_dir, want_profile = job
     if cache_dir is not None:
         set_cache_dir(Path(cache_dir) if cache_dir else None)
@@ -483,6 +705,7 @@ def _measure_sweep_chunk(
     setting alone, "" = disabled) so all workers share one disk cache,
     and a flag asking for a phase profile to ship back.
     """
+    faults.fault("worker")
     chunk, backend, scalar_backend, cache_dir, want_profile = job
     if cache_dir is not None:
         set_cache_dir(Path(cache_dir) if cache_dir else None)
@@ -508,7 +731,8 @@ def measure_many(
     scalar_backend: str = "auto",
     profile: PhaseProfile | None = None,
     sweep_mode: str = "periter",
-) -> list[Measurement]:
+    run_policy: RunPolicy | None = None,
+) -> list:
     """Measure many sweep configs, optionally fanned over processes.
 
     Results are returned in input order and element-wise identical in
@@ -536,57 +760,113 @@ def measure_many(
     merges every worker profile into it; cumulative disk-cache counters
     are folded as per-chunk deltas so reused pool workers never
     double-count.
+
+    All execution runs under a :class:`RunPolicy` (default-constructed
+    when none is passed): tasks are supervised per :func:`_supervise`,
+    so worker deaths, chunk timeouts, and per-config errors degrade
+    and retry instead of aborting the sweep.  A config that still
+    fails after every retry yields a :class:`FailedMeasurement` in its
+    slot — callers aggregating rows must filter on type.  With
+    ``policy.checkpoint`` each completed config is journaled; with
+    ``policy.resume`` journaled configs are spliced from the journal
+    (``checkpoint_hits``) and only the rest are re-measured — the
+    journal stores exact float values via JSON round-trip, so resumed
+    tables are byte-identical to uninterrupted runs.
     """
     if sweep_mode not in SWEEP_MODES:
         raise BenchError(
             f"unknown sweep mode {sweep_mode!r}; choose from {SWEEP_MODES}"
         )
+    # Parse REPRO_FAULT up front: a grammar error is a usage mistake
+    # that should fail the sweep immediately, not be retried per config
+    # in every worker.
+    faults.active()
+    policy = run_policy or RunPolicy()
     want_profile = profile is not None
-    if sweep_mode == "batched":
-        if jobs <= 1 or len(configs) <= 1:
-            results, chunk_profile = _measure_batch_chunk(
-                (configs, backend, scalar_backend, None, want_profile)
-            )
-            if profile is not None:
-                profile.merge(chunk_profile)
-            return results
-        cache_root = current_cache_dir()
-        cache_dir = str(cache_root) if cache_root is not None else ""
-        bins = _batched_bins(configs, jobs)
-        chunks = [
-            ([configs[i] for i in indices], backend, scalar_backend,
-             cache_dir, want_profile)
-            for indices in bins
-        ]
-        measurements: list[Measurement | None] = [None] * len(configs)
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            for indices, (chunk_result, chunk_profile) in zip(
-                    bins, pool.map(_measure_batch_chunk, chunks)):
-                for idx, measurement in zip(indices, chunk_result):
-                    measurements[idx] = measurement
-                if profile is not None:
-                    profile.merge(chunk_profile)
-        return measurements
-    if jobs <= 1 or len(configs) <= 1:
-        results, chunk_profile = _measure_sweep_chunk(
-            (configs, backend, scalar_backend, None, want_profile)
+    results: list = [None] * len(configs)
+
+    journal = None
+    keys: list[str] | None = None
+    if policy.checkpoint is not None:
+        path = Path(policy.checkpoint)
+        keys = [_config_key(config) for config in configs]
+        if policy.resume:
+            done = _load_checkpoint(path)
+            for idx, key in enumerate(keys):
+                cached = done.get(key)
+                if cached is not None:
+                    results[idx] = cached
+                    if profile is not None:
+                        profile.count("checkpoint_hits")
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        journal = path.open("a", encoding="utf-8")
+
+    pending = [idx for idx in range(len(configs)) if results[idx] is None]
+
+    def on_done(indices: list[int], out: list[Measurement]) -> None:
+        for idx, measurement in zip(indices, out):
+            results[idx] = measurement
+            if journal is not None:
+                journal.write(json.dumps({
+                    "key": keys[idx],
+                    "measurement": _measurement_to_json(measurement),
+                }) + "\n")
+        if journal is not None:
+            journal.flush()
+
+    def on_failed(idx: int, exc: BaseException, attempts: int) -> None:
+        results[idx] = FailedMeasurement(
+            config=configs[idx],
+            error=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts,
         )
+
+    try:
+        if pending:
+            if jobs <= 1:
+                # Pure in-process run: leave the cache binding alone so
+                # its counters (and degraded/disabled state) persist.
+                cache_dir = None
+            else:
+                cache_root = current_cache_dir()
+                cache_dir = str(cache_root) if cache_root is not None else ""
+            if sweep_mode == "batched":
+                worker = _measure_batch_chunk
+                if jobs <= 1 or len(pending) <= 1:
+                    bins = [list(pending)]
+                else:
+                    sub = [configs[i] for i in pending]
+                    bins = [[pending[i] for i in indices]
+                            for indices in _batched_bins(sub, jobs)]
+            else:
+                worker = _measure_sweep_chunk
+                if jobs <= 1 or len(pending) <= 1:
+                    bins = [list(pending)]
+                else:
+                    chunksize = max(1, -(-len(pending) // (jobs * 4)))
+                    bins = [pending[i:i + chunksize]
+                            for i in range(0, len(pending), chunksize)]
+
+            def make_job(indices: list[int]):
+                return ([configs[i] for i in indices], backend,
+                        scalar_backend, cache_dir, want_profile)
+
+            _supervise([_Task(b) for b in bins], worker, make_job, jobs,
+                       policy, profile, on_done, on_failed)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    failures = [r for r in results if isinstance(r, FailedMeasurement)]
+    if failures:
         if profile is not None:
-            profile.merge(chunk_profile)
-        return results
-    cache_root = current_cache_dir()
-    cache_dir = str(cache_root) if cache_root is not None else ""
-    chunksize = max(1, -(-len(configs) // (jobs * 4)))
-    chunks = [
-        (configs[i:i + chunksize], backend, scalar_backend, cache_dir,
-         want_profile)
-        for i in range(0, len(configs), chunksize)
-    ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results: list[Measurement] = []
-        for chunk_result, chunk_profile in pool.map(_measure_sweep_chunk,
-                                                    chunks):
-            results.extend(chunk_result)
-            if profile is not None:
-                profile.merge(chunk_profile)
-        return results
+            profile.count("failed_configs", len(failures))
+        print(f"warning: {len(failures)}/{len(configs)} sweep configs "
+              f"failed after retries:", file=sys.stderr)
+        for failure in failures[:10]:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        if len(failures) > 10:
+            print(f"  ... and {len(failures) - 10} more", file=sys.stderr)
+    return results

@@ -18,6 +18,16 @@ Design rules:
   truncated write, corrupted or hostile bytes, unwritable directory —
   degrades to a cache miss.  The cache can only make runs faster,
   never make them fail.
+* **Quarantined corruption.** An entry that fails to unpickle is
+  renamed to ``*.corrupt`` (bounded count, oldest dropped) instead of
+  being silently re-missed forever: the bad bytes stay available for
+  diagnosis, the key's slot is freed so the next ``put`` repairs it,
+  and ``stats()`` counts ``corrupt_quarantined``.
+* **Unwritable degradation.** When writes keep failing (read-only
+  directory, wrong owner, full disk), the disk tier turns itself off
+  after :data:`WRITE_FAILURE_LIMIT` consecutive failures with a single
+  recorded warning; reads keep working and the in-process memos carry
+  on alone.  Nothing ever raises.
 * **Atomic writes.** Entries are written to a temp file and renamed,
   so concurrent ``measure_many`` workers sharing one directory never
   observe half-written pickles.
@@ -38,10 +48,19 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
+
+from repro import faults
 
 #: Bump when the on-disk entry layout itself changes.
 CACHE_SCHEMA_VERSION = 1
+
+#: Most ``*.corrupt`` quarantine files kept around for diagnosis.
+QUARANTINE_MAX = 32
+
+#: Consecutive ``put`` failures before the disk tier disables itself.
+WRITE_FAILURE_LIMIT = 3
 
 #: Default size budget for the disk tier when neither the constructor
 #: nor ``REPRO_CACHE_MAX_BYTES`` says otherwise.
@@ -71,6 +90,9 @@ class DiskCache:
         self.puts = 0
         self.errors = 0
         self.evictions = 0
+        self.corrupt_quarantined = 0
+        self.write_failures = 0
+        self.disabled = False
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
@@ -84,14 +106,19 @@ class DiskCache:
         except OSError:
             self.misses += 1
             return None
+        data = faults.mangle("cache", data)
         try:
             stored_key, value = pickle.loads(data)
             if stored_key != key:
                 raise ValueError("key mismatch")
         except Exception:
-            # Corrupted, truncated, or foreign entry: a miss, not a crash.
+            # Corrupted, truncated, or foreign entry: a miss, not a
+            # crash — but quarantine the bytes so the slot frees up and
+            # the corruption stays diagnosable instead of re-missing on
+            # every lookup forever.
             self.errors += 1
             self.misses += 1
+            self._quarantine(path)
             return None
         try:
             # Touch for LRU recency: eviction takes oldest mtime first.
@@ -101,8 +128,33 @@ class DiskCache:
         self.hits += 1
         return value
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted entry aside as ``*.corrupt`` (best-effort).
+
+        The population of quarantine files is bounded: past
+        :data:`QUARANTINE_MAX` the corrupted entry is simply unlinked,
+        so a corruption storm cannot grow the directory without limit.
+        """
+        try:
+            kept = sum(1 for _ in self.root.glob("??/*.corrupt"))
+            if kept >= QUARANTINE_MAX:
+                path.unlink()
+            else:
+                path.rename(path.with_suffix(".corrupt"))
+            self.corrupt_quarantined += 1
+        except OSError:
+            pass
+
     def put(self, key: str, value) -> None:
-        """Store ``value`` under ``key``; failures are silently dropped."""
+        """Store ``value`` under ``key``; failures are silently dropped.
+
+        Persistent write failure (read-only directory, full disk)
+        degrades the whole disk tier to read-only after
+        :data:`WRITE_FAILURE_LIMIT` consecutive misfires, with one
+        recorded warning — in-process memos keep the run correct.
+        """
+        if self.disabled:
+            return
         path = self._path(key)
         tmp = None
         try:
@@ -114,13 +166,24 @@ class DiskCache:
             os.replace(tmp, path)
             tmp = None
             self.puts += 1
+            self.write_failures = 0
         except Exception:
             self.errors += 1
+            self.write_failures += 1
             if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            if self.write_failures >= WRITE_FAILURE_LIMIT:
+                self.disabled = True
+                warnings.warn(
+                    f"repro disk cache at {self.root} is unwritable after "
+                    f"{self.write_failures} attempts; continuing with "
+                    f"in-process caching only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
         self._evict_if_needed()
 
@@ -162,7 +225,10 @@ class DiskCache:
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "puts": self.puts, "errors": self.errors,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "corrupt_quarantined": self.corrupt_quarantined,
+                "write_failures": self.write_failures,
+                "disabled": int(self.disabled)}
 
 
 # ---------------------------------------------------------------------------

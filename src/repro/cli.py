@@ -28,7 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import SimdalError
+from repro.errors import SimdalError, VerificationError
 from repro.lang import compile_source
 from repro.machine.backend import BACKEND_CHOICES, SCALAR_BACKEND_CHOICES
 from repro.simdize.options import SimdOptions
@@ -143,6 +143,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if report.used_fallback:
         print("note: the engine took a fallback path (guarded scalar run "
               "for small trips, or per-iteration steady execution)")
+    if report.fallback is not None:
+        fb = report.fallback
+        print(f"note: backend degraded to {fb['tier']!r} after a "
+              f"{fb['phase']} failure in {'/'.join(fb['failed'])} "
+              f"({fb['reason']})")
     if profile is not None:
         print()
         print(profile.format())
@@ -208,12 +213,20 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import coverage_sweep, figure11, figure12, table1, table2
 
+    from repro.bench.runner import RunPolicy
+
     _apply_cache_dir(args)
     profile = _make_profile(args)
+    policy = RunPolicy(
+        max_retries=args.max_retries,
+        timeout=args.timeout,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     sweep = dict(count=args.count, trip=args.trip_count, jobs=args.jobs,
                  backend=args.exec_backend,
                  scalar_backend=args.scalar_backend, profile=profile,
-                 sweep_mode=args.sweep_mode)
+                 sweep_mode=args.sweep_mode, run_policy=policy)
     builders = {
         "table1": lambda: table1(**sweep),
         "table2": lambda: table2(**sweep),
@@ -292,6 +305,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "config at a time; batched runs each program-"
                         "signature class as one batched kernel call "
                         "(identical output, less wall clock)")
+    p.add_argument("--max-retries", type=int, default=2, dest="max_retries",
+                   help="re-attempts per failing sweep config before it is "
+                        "reported as failed (default 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-chunk wall-clock budget when --jobs > 1; an "
+                        "overrunning chunk is treated like a worker death")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal completed configs to a JSONL file as the "
+                        "sweep runs")
+    p.add_argument("--resume", action="store_true",
+                   help="skip configs already journaled in --checkpoint "
+                        "(tables stay byte-identical to an uninterrupted run)")
     _add_perf_options(p)
     p.set_defaults(func=cmd_bench)
 
@@ -299,10 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run one CLI command.
+
+    Exit codes: 0 success, 1 any library error
+    (:class:`~repro.errors.SimdalError`), 2 usage errors (argparse),
+    3 a verification mismatch — the one failure a reproduction must
+    never paper over, so scripts can tell it apart from I/O or
+    configuration problems.  Library errors print one ``error:`` line,
+    never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except VerificationError as exc:
+        print(f"verification mismatch: {exc}", file=sys.stderr)
+        return 3
     except SimdalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -70,3 +70,27 @@ class VerificationError(SimdalError):
 
 class BenchError(SimdalError):
     """Benchmark synthesis or harness failure."""
+
+
+class ExecutionError(SimdalError):
+    """A measurement's execution failed on every tier (or timed out)."""
+
+
+class WorkerError(SimdalError):
+    """A sweep worker process died (or its pool broke) beyond recovery."""
+
+
+class CacheError(SimdalError):
+    """Disk-cache layer failure that could not be degraded silently."""
+
+
+class FaultInjected(SimdalError):
+    """An error injected by the ``REPRO_FAULT`` test harness.
+
+    Carries the ``phase`` the fault was declared for so recovery code
+    can attribute the failure exactly like a real one.
+    """
+
+    def __init__(self, phase: str, message: str | None = None):
+        self.phase = phase
+        super().__init__(message or f"injected fault at phase {phase!r}")

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the resilience layer.
+
+Every recovery path in the execution and sweep stack — the backend
+degradation chain, the supervised worker pool, the cache quarantine —
+exists to survive events that are rare in healthy runs.  This module
+makes those events reproducible on demand so the paths can be tested
+end to end instead of trusted: set ``REPRO_FAULT`` and the hook points
+sprinkled through the pipeline start failing in controlled ways.
+
+Grammar (comma-separated specs)::
+
+    REPRO_FAULT = spec[,spec...]
+    spec        = phase:kind[:prob[:seed]]
+    phase       = compile | execute | worker | cache
+    kind        = raise | kill | corrupt | timeout
+    prob        = float in [0, 1] (default 1), or the token "once"
+    seed        = int seeding the per-process decision stream (default 0)
+
+Examples: ``compile:raise`` (every jit kernel compile raises),
+``worker:kill:0.5:42`` (half of all worker chunks die, seeded),
+``worker:raise:once`` (the first chunk in each process raises, later
+ones succeed — deterministic retry testing), ``cache:corrupt`` (every
+disk-cache read comes back mangled).
+
+Kinds:
+
+* ``raise`` — the hook raises :class:`~repro.errors.FaultInjected`.
+* ``kill`` — the hook hard-kills the *worker* process (``os._exit``);
+  in the main process it is a no-op, so pool-death recovery can be
+  tested without shooting the supervisor.
+* ``timeout`` — the hook sleeps ``REPRO_FAULT_SLEEP`` seconds
+  (default 5), long enough to trip any per-chunk ``--timeout``.
+* ``corrupt`` — only meaningful for the ``cache`` phase: bytes read
+  from the disk cache are mangled before unpickling
+  (:func:`mangle`), driving the corrupt-entry quarantine.
+
+Cost discipline: when ``REPRO_FAULT`` is unset the hooks must be free.
+The spec table is parsed lazily once per process; after that every
+:func:`fault` call is a single falsy-dict check.  Worker processes
+inherit the environment, so pool workers see the same faults as the
+parent that spawned them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.errors import FaultInjected, SimdalError
+
+#: Recognized hook-point names.
+PHASES = ("compile", "execute", "worker", "cache")
+#: Recognized failure kinds.
+KINDS = ("raise", "kill", "corrupt", "timeout")
+
+#: Seconds a ``timeout`` fault sleeps (override for fast tests).
+_SLEEP_ENV = "REPRO_FAULT_SLEEP"
+_DEFAULT_SLEEP = 5.0
+
+
+class _Spec:
+    """One armed fault: kind + its per-process decision stream."""
+
+    __slots__ = ("phase", "kind", "prob", "once", "fired", "rng")
+
+    def __init__(self, phase: str, kind: str, prob: float, once: bool,
+                 seed: int):
+        self.phase = phase
+        self.kind = kind
+        self.prob = prob
+        self.once = once
+        self.fired = False
+        self.rng = random.Random(seed)
+
+    def should_fire(self) -> bool:
+        if self.once:
+            if self.fired:
+                return False
+            self.fired = True
+            return True
+        if self.prob >= 1.0:
+            return True
+        return self.rng.random() < self.prob
+
+
+def _parse(text: str) -> dict[str, list[_Spec]]:
+    table: dict[str, list[_Spec]] = {}
+    for raw in text.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise SimdalError(
+                f"bad REPRO_FAULT spec {raw!r}: want phase:kind[:prob[:seed]]"
+            )
+        phase, kind = parts[0], parts[1]
+        if phase not in PHASES:
+            raise SimdalError(
+                f"bad REPRO_FAULT phase {phase!r}; choose from {PHASES}"
+            )
+        if kind not in KINDS:
+            raise SimdalError(
+                f"bad REPRO_FAULT kind {kind!r}; choose from {KINDS}"
+            )
+        prob, once = 1.0, False
+        if len(parts) >= 3:
+            if parts[2] == "once":
+                once = True
+            else:
+                try:
+                    prob = float(parts[2])
+                except ValueError:
+                    raise SimdalError(
+                        f"bad REPRO_FAULT probability {parts[2]!r}"
+                    ) from None
+        seed = 0
+        if len(parts) == 4:
+            try:
+                seed = int(parts[3])
+            except ValueError:
+                raise SimdalError(f"bad REPRO_FAULT seed {parts[3]!r}") from None
+        table.setdefault(phase, []).append(_Spec(phase, kind, prob, once, seed))
+    return table
+
+
+#: None = env not parsed yet; {} = parsed, nothing armed.
+_ACTIVE: dict[str, list[_Spec]] | None = None
+
+
+def _specs() -> dict[str, list[_Spec]]:
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _parse(os.environ.get("REPRO_FAULT", ""))
+    return _ACTIVE
+
+
+def reload() -> None:
+    """Re-read ``REPRO_FAULT`` on the next hook (tests change the env)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def fault(phase: str) -> None:
+    """Hook point: fail here in whatever way ``REPRO_FAULT`` armed.
+
+    Free when no faults are configured.  ``corrupt`` specs are handled
+    by :func:`mangle`, not here.
+    """
+    specs = _specs()
+    if not specs:
+        return
+    for spec in specs.get(phase, ()):
+        if spec.kind == "corrupt" or not spec.should_fire():
+            continue
+        if spec.kind == "raise":
+            raise FaultInjected(phase)
+        if spec.kind == "kill":
+            if _in_worker_process():
+                os._exit(77)
+            continue  # never kill the supervisor
+        if spec.kind == "timeout":
+            time.sleep(float(os.environ.get(_SLEEP_ENV, _DEFAULT_SLEEP)))
+
+
+def mangle(phase: str, data: bytes) -> bytes:
+    """Corrupt ``data`` if a ``corrupt`` fault is armed for ``phase``.
+
+    Free when no faults are configured; the corruption (truncate and
+    flip the first byte) reliably breaks both the pickle framing and
+    the stored-key self check.
+    """
+    specs = _specs()
+    if not specs:
+        return data
+    for spec in specs.get(phase, ()):
+        if spec.kind == "corrupt" and spec.should_fire():
+            mangled = bytearray(data[: max(1, len(data) // 2)])
+            mangled[0] ^= 0xFF
+            return bytes(mangled)
+    return data
+
+
+def active() -> bool:
+    """True when any fault spec is armed (used by tests/diagnostics)."""
+    return bool(_specs())

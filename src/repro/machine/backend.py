@@ -130,6 +130,210 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
     )
 
 
+# ---------------------------------------------------------------------------
+# Backend degradation chain
+# ---------------------------------------------------------------------------
+#
+# A sweep config must never die because one engine tier misbehaved:
+# the bytes interpreters are the semantic oracles and are always able
+# to produce the answer the faster tiers were asked for.  The resilient
+# wrappers run the requested tier and, on *any* failure, restore the
+# pre-attempt memory image and transparently re-execute on the next
+# tier down, recording a structured degradation on the result
+# (``fallback = {tier, phase, reason, failed}``).  Errors on the last
+# tier propagate unchanged — there is nothing left to degrade to, and
+# a genuine program error (bad shift amount, unbound register) raises
+# the same exception from the oracle that the fast tier raised.
+
+#: Ordered fallback tiers per requested vector backend.
+DEGRADATION_CHAIN: dict[str, tuple[str, ...]] = {
+    "jit": ("jit", "numpy", "bytes"),
+    "numpy": ("numpy", "bytes"),
+    "bytes": ("bytes",),
+}
+
+#: Ordered fallback tiers per requested scalar-reference backend.
+SCALAR_DEGRADATION_CHAIN: dict[str, tuple[str, ...]] = {
+    "numpy": ("numpy", "bytes"),
+    "bytes": ("bytes",),
+}
+
+
+def _failure_phase(exc: BaseException) -> str:
+    """Which pipeline phase an engine failure belongs to."""
+    phase = getattr(exc, "phase", None)
+    if isinstance(phase, str):
+        return phase
+    if isinstance(exc, SyntaxError) or type(exc).__name__ == "CodegenError":
+        return "compile"
+    return "execute"
+
+
+def _degradation(tier: str, first_exc: BaseException,
+                 failed: list[str]) -> dict:
+    return {
+        "tier": tier,
+        "phase": _failure_phase(first_exc),
+        "reason": f"{type(first_exc).__name__}: {first_exc}",
+        "failed": tuple(failed),
+    }
+
+
+class _ResilientChain:
+    """Shared tier-walking logic for both backend axes."""
+
+    def __init__(self, tiers: tuple[str, ...], resolve):
+        self.tiers = tiers
+        self._resolve = resolve  # tier name -> engine (may raise)
+        # The head tier resolves eagerly so an explicitly requested
+        # but unavailable engine still raises the friendly error.
+        self._engines: dict[str, object] = {tiers[0]: resolve(tiers[0])}
+
+    @property
+    def primary(self):
+        return self._engines[self.tiers[0]]
+
+    def engine_for(self, tier: str):
+        engine = self._engines.get(tier)
+        if engine is None:
+            engine = self._engines[tier] = self._resolve(tier)
+        return engine
+
+    def run_degrading(self, mem: Memory, attempt) -> tuple[object, dict | None]:
+        """Call ``attempt(engine)`` down the chain; restore ``mem``
+        between tiers.  Returns ``(result, degradation-or-None)``."""
+        first_exc: BaseException | None = None
+        failed: list[str] = []
+        snapshot = mem.snapshot() if len(self.tiers) > 1 else None
+        for pos, tier in enumerate(self.tiers):
+            last = pos == len(self.tiers) - 1
+            try:
+                engine = self.engine_for(tier)
+            except Exception as exc:
+                # Tier unavailable on this interpreter (no numpy).
+                if first_exc is None:
+                    first_exc = exc
+                failed.append(tier)
+                if last:
+                    raise
+                continue
+            try:
+                result = attempt(engine)
+            except Exception as exc:
+                if last:
+                    raise
+                if first_exc is None:
+                    first_exc = exc
+                failed.append(tier)
+                mem.raw()[:] = snapshot
+                continue
+            if failed:
+                return result, _degradation(tier, first_exc, failed)
+            return result, None
+        raise MachineError("empty degradation chain")  # pragma: no cover
+
+
+class ResilientBackend:
+    """An :class:`ExecutionBackend` that degrades down a tier chain."""
+
+    def __init__(self, name: str = "auto"):
+        if name == "auto":
+            name = default_backend_name()
+        tiers = DEGRADATION_CHAIN.get(name)
+        if tiers is None:
+            raise MachineError(
+                f"unknown execution backend {name!r}; "
+                f"choose from {BACKEND_CHOICES}"
+            )
+        self._chain = _ResilientChain(tiers, get_backend)
+        self.name = name
+
+    def run(
+        self,
+        program: VProgram,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+        trace: Trace | None = None,
+    ) -> VectorRunResult:
+        def attempt(engine):
+            return engine.run(program, space, mem, bindings, trace)
+
+        result, degradation = self._chain.run_degrading(mem, attempt)
+        if degradation is not None:
+            result.fallback = degradation
+        return result
+
+    def run_batch(self, runs: list) -> list:
+        """Batched execution with whole-batch degradation.
+
+        The primary tier's native batch is tried first; any failure
+        restores every run's memory and re-executes config by config
+        through :meth:`run`, so one poisoned config degrades alone
+        instead of sinking its signature class.
+        """
+        primary = self._chain.primary
+        native = getattr(primary, "run_batch", None)
+        if native is not None and len(self._chain.tiers) > 1:
+            snapshots = [mem.snapshot() for _, _, mem, _ in runs]
+            try:
+                return native(runs)
+            except Exception:
+                for (_, _, mem, _), snap in zip(runs, snapshots):
+                    mem.raw()[:] = snap
+        elif native is not None:
+            return native(runs)
+        return [self.run(program, space, mem, bindings)
+                for program, space, mem, bindings in runs]
+
+
+class ResilientScalarBackend:
+    """A :class:`ScalarBackend` that degrades ``numpy`` to ``bytes``."""
+
+    def __init__(self, name: str = "auto"):
+        if name == "auto":
+            name = default_backend_name()
+        tiers = SCALAR_DEGRADATION_CHAIN.get(name)
+        if tiers is None:
+            raise MachineError(
+                f"unknown scalar backend {name!r}; "
+                f"choose from {SCALAR_BACKEND_CHOICES}"
+            )
+        self._chain = _ResilientChain(tiers, get_scalar_backend)
+        self.name = name
+
+    def run(
+        self,
+        loop: Loop,
+        space: ArraySpace,
+        mem: Memory,
+        bindings: RunBindings | None = None,
+    ) -> ScalarRunResult:
+        def attempt(engine):
+            return engine.run(loop, space, mem, bindings)
+
+        result, degradation = self._chain.run_degrading(mem, attempt)
+        if degradation is not None:
+            result.fallback = degradation
+        return result
+
+
+def get_resilient_backend(name: str = "auto") -> ExecutionBackend:
+    """A vector engine that survives tier failures by degrading.
+
+    Requesting an explicitly unavailable head tier (``numpy``/``jit``
+    without NumPy installed) still raises the friendly install hint —
+    degradation covers *run-time* tier failures, not misconfiguration
+    the user asked for by name.
+    """
+    return ResilientBackend(name)
+
+
+def get_resilient_scalar_backend(name: str = "auto") -> ScalarBackend:
+    """A scalar-reference engine that degrades ``numpy`` to ``bytes``."""
+    return ResilientScalarBackend(name)
+
+
 def run_vector_batch(engine: ExecutionBackend, runs: list) -> list:
     """Run ``(program, space, mem, bindings)`` tuples as one batch.
 

@@ -63,11 +63,19 @@ class VectorRunResult:
     batched NumPy backend — per-iteration steady-loop execution for
     programs its planner cannot batch.  Counters and memory are
     identical either way; the flag only reports *how* they were made.
+
+    ``fallback`` is set by the resilient backend chain
+    (:func:`repro.machine.backend.get_resilient_backend`) when a
+    higher engine tier failed and a lower one produced this result:
+    ``{"tier": ran, "phase": where-it-failed, "reason": first error,
+    "failed": (tiers that failed, in order)}``.  ``None`` means the
+    requested tier ran clean.
     """
 
     counters: OpCounters
     trip: int
     used_fallback: bool
+    fallback: dict | None = None
 
     @property
     def ops(self) -> int:

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.cache import get_cache
 from repro.errors import MachineError
+from repro.faults import fault as _fault
 from repro.machine import interp
 from repro.machine import npbackend
 from repro.machine import vector as vec
@@ -1430,6 +1431,7 @@ def get_kernel(program: VProgram) -> _Kernel:
         STATS["memory_hits"] += 1
         return kernel
     STATS["memory_misses"] += 1
+    _fault("compile")  # REPRO_FAULT=compile:… fails the kernel build here
     start = time.perf_counter()
     disk = get_cache()
     spec = None
@@ -1481,6 +1483,7 @@ class JitBackend:
             # byte interpreter (same rule as the numpy engine).
             return run_vector(program, space, mem, bindings, trace)
 
+        _fault("execute")  # before any state mutates: degradation-safe
         env = interp._Env(program, space, mem, bindings or RunBindings(), None)
         env.counters.bump(CALL, 2)
 
@@ -1529,6 +1532,7 @@ class JitBackend:
         class of C sweep configs costs one NumPy dispatch sequence
         instead of C.
         """
+        _fault("execute")  # before any state mutates: degradation-safe
         results: list = [None] * len(runs)
         live: list[tuple[int, interp._Env]] = []
         signature = None

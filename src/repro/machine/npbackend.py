@@ -60,6 +60,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MachineError
+from repro import faults
 from repro.machine import interp
 from repro.machine import vector as vec
 from repro.machine.arrays import ArraySpace
@@ -123,6 +124,7 @@ class NumpyBackend:
             # so the observability path stays on the byte interpreter.
             return run_vector(program, space, mem, bindings, trace)
 
+        faults.fault("execute")  # before any state mutates: degradation-safe
         env = interp._Env(program, space, mem, bindings or RunBindings(), None)
         env.counters.bump(CALL, 2)
 

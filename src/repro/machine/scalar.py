@@ -62,6 +62,9 @@ class ScalarRunResult:
     trip: int
     #: Number of data elements computed (one per statement per iteration).
     data_count: int = 0
+    #: Degradation record from the resilient scalar chain, or None
+    #: (same shape as ``VectorRunResult.fallback``).
+    fallback: dict | None = None
 
     @property
     def ops(self) -> int:

@@ -108,6 +108,20 @@ class PhaseProfile:
             if fallbacks:
                 line += f", {fallbacks} fallbacks"
             lines.append(line)
+        resilience = []
+        degraded_to = sorted(
+            k for k in self.counts if k.startswith("degraded_to_")
+        )
+        for name in ("degraded", *degraded_to, "scalar_degraded", "retries",
+                     "task_splits", "pool_restarts", "serial_fallbacks",
+                     "failed_configs", "checkpoint_hits",
+                     "disk_corrupt_quarantined"):
+            k = self.counts.get(name, 0)
+            if k:
+                resilience.append(f"  {name:<24s} {k}")
+        if resilience:
+            lines.append("resilience:")
+            lines.extend(resilience)
         return "\n".join(lines)
 
 

@@ -20,8 +20,8 @@ from repro.machine.arrays import ArraySpace
 from repro.machine.backend import (
     ExecutionBackend,
     ScalarBackend,
-    get_backend,
-    get_scalar_backend,
+    get_resilient_backend,
+    get_resilient_scalar_backend,
     jit_compile_stats,
     run_vector_batch,
 )
@@ -41,6 +41,12 @@ class EquivalenceReport:
     trip: int
     data_count: int
     used_fallback: bool
+    #: Structured backend degradation, or None when the requested tier
+    #: ran clean: ``{"tier": ran, "phase": failing phase, "reason":
+    #: first error, "failed": tiers that failed}``.
+    fallback: dict | None = None
+    #: Same, for the scalar-reference axis (``numpy`` -> ``bytes``).
+    scalar_fallback: dict | None = None
 
     @property
     def scalar_total(self) -> int:
@@ -119,9 +125,11 @@ def verify_equivalence(
     """
     bindings = bindings or RunBindings()
     loop = program.source
-    engine = get_backend(backend) if isinstance(backend, str) else backend
+    engine = (
+        get_resilient_backend(backend) if isinstance(backend, str) else backend
+    )
     scalar_engine = (
-        get_scalar_backend(scalar_backend)
+        get_resilient_scalar_backend(scalar_backend)
         if isinstance(scalar_backend, str)
         else scalar_backend
     )
@@ -134,6 +142,7 @@ def verify_equivalence(
         vector_result = engine.run(program, space, vector_mem, bindings)
     if profile is not None:
         _attribute_jit_compile(profile, before, jit_compile_stats())
+        _count_degradations(profile, vector_result, scalar_result)
 
     with timed(profile, "verify"):
         matched = scalar_mem.snapshot() == vector_mem.snapshot()
@@ -149,6 +158,8 @@ def verify_equivalence(
         trip=scalar_result.trip,
         data_count=scalar_result.data_count,
         used_fallback=vector_result.used_fallback,
+        fallback=vector_result.fallback,
+        scalar_fallback=scalar_result.fallback,
     )
 
 
@@ -170,9 +181,11 @@ def verify_equivalence_batch(
     the same diagnostics :func:`verify_equivalence` gives it.  Reports
     come back in input order, field-identical to per-config calls.
     """
-    engine = get_backend(backend) if isinstance(backend, str) else backend
+    engine = (
+        get_resilient_backend(backend) if isinstance(backend, str) else backend
+    )
     scalar_engine = (
-        get_scalar_backend(scalar_backend)
+        get_resilient_scalar_backend(scalar_backend)
         if isinstance(scalar_backend, str)
         else scalar_backend
     )
@@ -193,6 +206,9 @@ def verify_equivalence_batch(
         ])
     if profile is not None:
         _attribute_jit_compile(profile, before, jit_compile_stats())
+        for scalar_result, vector_result in zip(scalar_results,
+                                                vector_results):
+            _count_degradations(profile, vector_result, scalar_result)
 
     reports = []
     for (program, space, _, _), smem, vmem, scalar_result, vector_result \
@@ -212,8 +228,21 @@ def verify_equivalence_batch(
             trip=scalar_result.trip,
             data_count=scalar_result.data_count,
             used_fallback=vector_result.used_fallback,
+            fallback=vector_result.fallback,
+            scalar_fallback=scalar_result.fallback,
         ))
     return reports
+
+
+def _count_degradations(
+    profile: PhaseProfile, vector_result, scalar_result
+) -> None:
+    """Fold backend-degradation records into the profile counters."""
+    if vector_result.fallback is not None:
+        profile.count("degraded")
+        profile.count(f"degraded_to_{vector_result.fallback['tier']}")
+    if scalar_result.fallback is not None:
+        profile.count("scalar_degraded")
 
 
 def _attribute_jit_compile(

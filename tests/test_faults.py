@@ -1,0 +1,133 @@
+"""The fault-injection harness itself: grammar, determinism, kinds.
+
+``repro.faults`` is the instrument the resilience tests
+(``test_resilience.py``) probe the recovery paths with, so its own
+semantics are pinned first: the ``REPRO_FAULT`` grammar, the
+zero-cost-when-unset discipline, the seeded decision streams, and the
+``once`` token.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjected, SimdalError
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    """Every test starts with no faults armed and a fresh parse."""
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    faults.reload()
+    yield
+    faults.reload()
+
+
+def _arm(monkeypatch, spec: str) -> None:
+    monkeypatch.setenv("REPRO_FAULT", spec)
+    faults.reload()
+
+
+class TestGrammar:
+    def test_unset_is_inactive(self):
+        assert not faults.active()
+        faults.fault("compile")  # must be a no-op
+        assert faults.mangle("cache", b"data") == b"data"
+
+    def test_empty_specs_are_skipped(self, monkeypatch):
+        _arm(monkeypatch, " , ,")
+        assert not faults.active()
+
+    def test_full_spec_parses(self, monkeypatch):
+        _arm(monkeypatch, "worker:kill:0.5:42,compile:raise")
+        assert faults.active()
+
+    @pytest.mark.parametrize("bad", [
+        "bogus",                   # no kind at all
+        "compile:raise:1:2:3",     # too many fields
+        "teleport:raise",          # unknown phase
+        "compile:explode",         # unknown kind
+        "compile:raise:many",      # bad probability
+        "compile:raise:0.5:soon",  # bad seed
+    ])
+    def test_bad_specs_raise(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_FAULT", bad)
+        faults.reload()
+        with pytest.raises(SimdalError):
+            faults.active()
+
+    def test_reload_rereads_environment(self, monkeypatch):
+        assert not faults.active()
+        _arm(monkeypatch, "compile:raise")
+        assert faults.active()
+
+
+class TestKinds:
+    def test_raise_fires_with_phase(self, monkeypatch):
+        _arm(monkeypatch, "compile:raise")
+        with pytest.raises(FaultInjected) as err:
+            faults.fault("compile")
+        assert err.value.phase == "compile"
+        assert isinstance(err.value, SimdalError)
+
+    def test_only_the_armed_phase_fires(self, monkeypatch):
+        _arm(monkeypatch, "compile:raise")
+        faults.fault("execute")
+        faults.fault("worker")
+
+    def test_kill_is_noop_in_main_process(self, monkeypatch):
+        # os._exit would end the test run; the gate must hold here.
+        _arm(monkeypatch, "worker:kill")
+        faults.fault("worker")
+
+    def test_corrupt_is_not_handled_by_fault(self, monkeypatch):
+        _arm(monkeypatch, "cache:corrupt")
+        faults.fault("cache")  # corrupt only acts through mangle()
+
+    def test_mangle_corrupts_armed_phase_only(self, monkeypatch):
+        _arm(monkeypatch, "cache:corrupt")
+        data = b"0123456789abcdef"
+        mangled = faults.mangle("cache", data)
+        assert mangled != data
+        assert len(mangled) < len(data)
+        assert faults.mangle("compile", data) == data
+
+    def test_timeout_sleeps_the_configured_time(self, monkeypatch):
+        import time
+
+        _arm(monkeypatch, "execute:timeout")
+        monkeypatch.setenv("REPRO_FAULT_SLEEP", "0.05")
+        start = time.perf_counter()
+        faults.fault("execute")
+        assert time.perf_counter() - start >= 0.05
+
+
+class TestDecisionStreams:
+    def test_probability_zero_never_fires(self, monkeypatch):
+        _arm(monkeypatch, "compile:raise:0")
+        for _ in range(50):
+            faults.fault("compile")
+
+    def test_seeded_stream_is_deterministic(self, monkeypatch):
+        def pattern():
+            fired = []
+            for _ in range(30):
+                try:
+                    faults.fault("compile")
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+            return fired
+
+        _arm(monkeypatch, "compile:raise:0.5:7")
+        first = pattern()
+        faults.reload()  # fresh parse = fresh stream, same seed
+        second = pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_once_fires_exactly_once(self, monkeypatch):
+        _arm(monkeypatch, "worker:raise:once")
+        with pytest.raises(FaultInjected):
+            faults.fault("worker")
+        for _ in range(10):
+            faults.fault("worker")
