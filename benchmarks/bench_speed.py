@@ -1,6 +1,7 @@
-"""Wall-clock comparison of the bytes/numpy/jit engines (``BENCH_interp.json``).
+"""Wall-clock comparison of the bytes/numpy/jit/native engines
+(``BENCH_interp.json``).
 
-Seven measurements over a fixed, seeded Figure-11 sweep:
+Eight measurements over a fixed, seeded Figure-11 sweep:
 
 * **engine time** — vector ``backend.run()`` alone on pre-simdized
   programs and pre-filled memories, bytes vs numpy.  This isolates the
@@ -14,6 +15,12 @@ Seven measurements over a fixed, seeded Figure-11 sweep:
 * **compile path** — cold vs warm jit codegen against a shared disk
   cache: the cold pass lowers every program, the warm pass (memory
   cache cleared) must load every kernel spec from disk.
+* **native tier** — the same workload with the steady loop compiled
+  to machine code via the C emitter, both whole-run and
+  steady-loop-only vs jit; bar: >= 5x on the steady loop (10x is the
+  recorded target) and a 100% warm disk hit rate for the shared
+  objects.  Skipped (recorded, not failed) on hosts without a C
+  compiler.
 * **scalar-engine time** — the scalar-reference engines on the same
   loops, bytes (per-iteration interpreter) vs numpy (whole-array
   shifted-window evaluation); bar: >= 10x.
@@ -189,6 +196,107 @@ def test_backend_speed():
     warm_compile_s = stats2["compile_s"] - stats1["compile_s"]
     disk_hit_rate = warm_disk_hits / warm_lookups if warm_lookups else 0.0
 
+    # The native tier: the same repeated-trip workload with the steady
+    # loop compiled to machine code.  Two views are recorded — the
+    # steady loop alone (the component the tier replaces; this carries
+    # the acceptance bar) and the whole run (the net win after the
+    # prologue/epilogue/verify work both tiers share).  Cold codegen
+    # runs against a throwaway shared disk cache; a cleared-memory
+    # second pass must then hit the disk for every shared object.
+    from repro.machine import native as native_mod
+    from repro.machine.jit import JitBackend
+    from repro.machine.native import NativeBackend
+
+    native_section: dict
+    if native_mod._compiler_identity()[0] is None:
+        native_section = {"skipped": "no C compiler on host"}
+        native_steady_speedup = None
+        native_hit_rate = None
+    else:
+        steady_acc = [0.0]
+        real_jit_steady = JitBackend.__dict__["_steady"]
+        real_native_steady = NativeBackend.__dict__["_steady"]
+
+        def _timed(inner):
+            def hook(self, env, steady, kernel):
+                start = time.perf_counter()
+                try:
+                    return inner(self, env, steady, kernel)
+                finally:
+                    steady_acc[0] += time.perf_counter() - start
+            return hook
+
+        def _steady_time(engine) -> float:
+            best = float("inf")
+            for _ in range(ROUNDS):
+                mems = [w.mem.clone() for w in workloads]
+                steady_acc[0] = 0.0
+                for w, mem in zip(workloads, mems):
+                    engine.run(w.program, w.space, mem, w.bindings)
+                best = min(best, steady_acc[0])
+            return best
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            set_cache_dir(cache_root)
+            JitBackend._steady = _timed(real_jit_steady)
+            NativeBackend._steady = _timed(real_native_steady)
+            try:
+                jit.clear_memory_cache()
+                native_mod.clear_memory_cache()
+                nstats0 = dict(native_mod.STATS)
+                start = time.perf_counter()
+                for w in workloads:
+                    get_backend("native").run(w.program, w.space,
+                                              w.mem.clone(), w.bindings)
+                native_cold_s = time.perf_counter() - start
+                nstats1 = dict(native_mod.STATS)
+                for w in workloads:  # warm the jit kernels too
+                    get_backend("jit").run(w.program, w.space,
+                                           w.mem.clone(), w.bindings)
+
+                native_s = _time_engine(get_backend("native"), workloads)
+                jit_steady_s = _steady_time(get_backend("jit"))
+                native_steady_s = _steady_time(get_backend("native"))
+
+                native_mod.clear_memory_cache()
+                start = time.perf_counter()
+                for w in workloads:
+                    get_backend("native").run(w.program, w.space,
+                                              w.mem.clone(), w.bindings)
+                native_warm_s = time.perf_counter() - start
+                nstats2 = dict(native_mod.STATS)
+            finally:
+                JitBackend._steady = real_jit_steady
+                NativeBackend._steady = real_native_steady
+                reset_cache_dir()
+                jit.clear_memory_cache()
+                native_mod.clear_memory_cache()
+
+        native_codegens = nstats1["codegens"] - nstats0["codegens"]
+        native_cc_s = nstats1["cc_s"] - nstats0["cc_s"]
+        native_lookups = (nstats2["disk_hits"] + nstats2["disk_misses"]
+                          - nstats1["disk_hits"] - nstats1["disk_misses"])
+        native_disk_hits = nstats2["disk_hits"] - nstats1["disk_hits"]
+        native_hit_rate = (native_disk_hits / native_lookups
+                           if native_lookups else 0.0)
+        native_speedup = jit_s / native_s
+        native_steady_speedup = jit_steady_s / native_steady_s
+        native_section = {
+            "jit_s": round(jit_s, 4),
+            "native_s": round(native_s, 4),
+            "speedup_vs_jit": round(native_speedup, 2),
+            "jit_steady_s": round(jit_steady_s, 4),
+            "native_steady_s": round(native_steady_s, 4),
+            "steady_speedup": round(native_steady_speedup, 2),
+            "kernels_compiled": native_codegens,
+            "cc_s": round(native_cc_s, 4),
+            "cold_s": round(native_cold_s, 4),
+            "warm_from_disk_s": round(native_warm_s, 4),
+            "warm_disk_lookups": native_lookups,
+            "warm_disk_hits": native_disk_hits,
+            "disk_hit_rate": round(native_hit_rate, 2),
+        }
+
     scalar_bytes_s = _time_scalar_engine(get_scalar_backend("bytes"), workloads)
     scalar_numpy_s = _time_scalar_engine(get_scalar_backend("numpy"), workloads)
     scalar_speedup = scalar_bytes_s / scalar_numpy_s
@@ -284,6 +392,7 @@ def test_backend_speed():
             "disk_hits": warm_disk_hits,
             "disk_hit_rate": round(disk_hit_rate, 2),
         },
+        "native_run": native_section,
         "scalar_run": {
             "bytes_s": round(scalar_bytes_s, 4),
             "numpy_s": round(scalar_numpy_s, 4),
@@ -340,6 +449,22 @@ def test_backend_speed():
         f"  cold   {jit_cold_s:8.4f} s (codegen)",
         f"  warm   {jit_warm_s:8.4f} s (disk {warm_disk_hits}/{warm_lookups} "
         f"hits, {disk_hit_rate * 100:.0f}%)",
+    ]
+    if "skipped" in native_section:
+        lines.append(f"native tier: skipped ({native_section['skipped']})")
+    else:
+        lines += [
+            f"native tier over {len(workloads)} programs "
+            f"(trip {SPEED_TRIP}, best of {ROUNDS}):",
+            f"  whole run   jit {jit_s:8.4f} s  native "
+            f"{native_s:8.4f} s   ({native_speedup:.1f}x)",
+            f"  steady loop jit {jit_steady_s:8.4f} s  native "
+            f"{native_steady_s:8.4f} s   ({native_steady_speedup:.1f}x)",
+            f"  cc: {native_codegens} kernels in {native_cc_s:.3f} s; "
+            f"warm disk {native_disk_hits}/{native_lookups} hits "
+            f"({native_hit_rate * 100:.0f}%)",
+        ]
+    lines += [
         f"scalar reference over {len(workloads)} loops (trip {SPEED_TRIP}, "
         f"best of {ROUNDS}):",
         f"  bytes  {scalar_bytes_s:8.4f} s",
@@ -370,6 +495,17 @@ def test_backend_speed():
         f"jit backend only {jit_speedup:.1f}x faster than numpy")
     assert disk_hit_rate == 1.0, (
         f"jit disk cache only hit {warm_disk_hits}/{warm_lookups} warm loads")
+    if "skipped" not in native_section:
+        # The machine-code steady loop against jit's NumPy-batched one:
+        # >= 5x on steady-state repeated runs (the 10x target is
+        # recorded, not asserted — the C call's fixed FFI cost bounds
+        # the ratio on short trips).  The warm pass must load every
+        # shared object from the disk cache.
+        assert native_steady_speedup >= 5.0, (
+            f"native steady loop only {native_steady_speedup:.1f}x over jit")
+        assert native_hit_rate == 1.0, (
+            f"native disk cache only hit {native_disk_hits}/{native_lookups} "
+            f"warm loads")
     assert scalar_speedup >= 10.0, (
         f"numpy scalar engine only {scalar_speedup:.1f}x faster")
     assert verify_speedup >= 5.0, (

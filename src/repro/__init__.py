@@ -95,10 +95,11 @@ def run_and_verify(
     both the scalar reference and the vector program, checks the
     memories are byte-identical, and returns the operation counts.
     ``backend`` picks the vector engine
-    (``auto``/``bytes``/``numpy``/``jit``) and ``scalar_backend`` the
-    scalar-reference engine (``auto``/``bytes``/``numpy``).  Passing a
+    (``auto``/``bytes``/``numpy``/``jit``/``native``) and
+    ``scalar_backend`` the scalar-reference engine
+    (``auto``/``bytes``/``numpy``).  Passing a
     :class:`repro.profiling.PhaseProfile` accumulates execute/verify
-    (and jit compile) phase timings into it.
+    (and jit compile / native cc) phase timings into it.
     """
     rng = random.Random(seed)
     loop = program.source

@@ -641,9 +641,9 @@ def _fold_disk_stats(profile: PhaseProfile | None, before: dict) -> None:
     after = _disk_stats_snapshot()
     if not after:
         return
-    for stat in ("evictions", "corrupt_quarantined"):
+    for stat in after:
         delta = after.get(stat, 0) - before.get(stat, 0)
-        if delta:
+        if delta > 0:
             profile.count(f"disk_{stat}", delta)
 
 

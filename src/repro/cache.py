@@ -40,6 +40,12 @@ Design rules:
   entries first — a ``get`` hit touches the file's mtime — so long
   sweep campaigns cannot grow the cache without limit and the hot
   working set survives.
+* **Sibling artifacts.** A key may carry raw byte artifacts next to
+  its pickle entry (``put_artifact`` / ``artifact_path``) — the native
+  tier stores a kernel's ``.c`` source and compiled ``.so`` this way.
+  Artifacts share the entry's digest stem, count toward the size
+  budget, are touched and evicted *as a unit* with their pickle, and
+  quarantine to ``<name>.<suffix>.corrupt`` like any other corruption.
 """
 
 from __future__ import annotations
@@ -98,6 +104,18 @@ class DiskCache:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.root / digest[:2] / f"{digest}.pkl"
 
+    def _siblings(self, path: Path) -> list[Path]:
+        """Every live file sharing ``path``'s digest stem (path included)."""
+        group = [path] if path.exists() else []
+        try:
+            for sibling in path.parent.glob(path.stem + ".*"):
+                if sibling == path or sibling.name.endswith((".tmp", ".corrupt")):
+                    continue
+                group.append(sibling)
+        except OSError:
+            pass
+        return group
+
     def get(self, key: str):
         """The cached value for ``key``, or None (silently) on any miss."""
         path = self._path(key)
@@ -120,13 +138,18 @@ class DiskCache:
             self.misses += 1
             self._quarantine(path)
             return None
-        try:
-            # Touch for LRU recency: eviction takes oldest mtime first.
-            os.utime(path)
-        except OSError:
-            pass
+        self._touch(path)
         self.hits += 1
         return value
+
+    def _touch(self, path: Path) -> None:
+        # Touch for LRU recency: eviction takes oldest group mtime
+        # first, and an entry's sibling artifacts age with it.
+        for member in self._siblings(path):
+            try:
+                os.utime(member)
+            except OSError:
+                pass
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupted entry aside as ``*.corrupt`` (best-effort).
@@ -134,16 +157,32 @@ class DiskCache:
         The population of quarantine files is bounded: past
         :data:`QUARANTINE_MAX` the corrupted entry is simply unlinked,
         so a corruption storm cannot grow the directory without limit.
+        Pickle entries keep the historical ``<digest>.corrupt`` name;
+        non-pickle artifacts append (``<digest>.so.corrupt``) so the
+        failing artifact kind stays visible.
         """
         try:
             kept = sum(1 for _ in self.root.glob("??/*.corrupt"))
             if kept >= QUARANTINE_MAX:
                 path.unlink()
-            else:
+            elif path.suffix == ".pkl":
                 path.rename(path.with_suffix(".corrupt"))
+            else:
+                path.rename(path.with_suffix(path.suffix + ".corrupt"))
             self.corrupt_quarantined += 1
         except OSError:
             pass
+
+    def quarantine_artifacts(self, key: str) -> None:
+        """Quarantine ``key``'s whole entry group after a load failure.
+
+        Used when a *loaded* artifact turns out bad (a ``.so`` that
+        fails checksum or ``dlopen``): the pickle metadata and every
+        sibling move aside together, so the next ``put`` repairs the
+        slot instead of re-serving the same broken object forever.
+        """
+        for member in self._siblings(self._path(key)):
+            self._quarantine(member)
 
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key``; failures are silently dropped.
@@ -187,33 +226,109 @@ class DiskCache:
             return
         self._evict_if_needed()
 
-    def _evict_if_needed(self) -> None:
-        """Drop least-recently-used entries until under ``max_bytes``.
+    # -- raw byte artifacts (native-tier .c / .so siblings) --------------
 
-        Best-effort and never-fail like everything else here: entries
-        racing with concurrent workers may vanish mid-scan (fine — the
-        goal was deletion), and any other error simply leaves the cache
-        over budget until the next ``put``.
+    def put_artifact(self, key: str, suffix: str, data: bytes) -> None:
+        """Store raw bytes as ``<digest>{suffix}`` next to ``key``'s entry.
+
+        Same never-fail discipline as :meth:`put`: atomic tmp+rename,
+        silent drops, the write-failure counter shared with pickles so
+        a dead disk disables the whole tier, and the size budget
+        enforced over the *group* (entry plus artifacts).
+        """
+        if self.disabled:
+            return
+        path = self._path(key).with_suffix(suffix)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+            tmp = None
+            self.puts += 1
+            self.write_failures = 0
+        except Exception:
+            self.errors += 1
+            self.write_failures += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if self.write_failures >= WRITE_FAILURE_LIMIT:
+                self.disabled = True
+                warnings.warn(
+                    f"repro disk cache at {self.root} is unwritable after "
+                    f"{self.write_failures} attempts; continuing with "
+                    f"in-process caching only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        self._evict_if_needed()
+
+    def artifact_path(self, key: str, suffix: str) -> Path | None:
+        """The on-disk path of ``key``'s ``suffix`` artifact, or None.
+
+        Touches the whole entry group on a hit, like :meth:`get`, so
+        an artifact read keeps its pickle sibling warm too.
+        """
+        path = self._path(key).with_suffix(suffix)
+        try:
+            if not path.is_file():
+                return None
+        except OSError:
+            return None
+        self._touch(self._path(key))
+        return path
+
+    def _evict_if_needed(self) -> None:
+        """Drop least-recently-used entry *groups* until under ``max_bytes``.
+
+        A group is every file sharing one digest stem — the pickle
+        entry plus any sibling artifacts (``.c``/``.so``) — sized as a
+        sum, aged by its most recent member, and unlinked as a unit so
+        a surviving ``.so`` can never outlive the metadata that
+        validates it.  Best-effort and never-fail like everything else
+        here: entries racing with concurrent workers may vanish
+        mid-scan (fine — the goal was deletion), and any other error
+        simply leaves the cache over budget until the next ``put``.
         """
         if not self.max_bytes:
             return
         try:
-            entries = []
+            groups: dict[Path, list] = {}
             total = 0
-            for path in self.root.glob("??/*.pkl"):
+            for path in self.root.glob("??/*"):
+                if path.name.endswith((".tmp", ".corrupt")):
+                    continue
                 try:
                     stat = path.stat()
                 except OSError:
                     continue
-                entries.append((stat.st_mtime, stat.st_size, path))
+                stem = path.parent / path.name.split(".", 1)[0]
+                entry = groups.setdefault(stem, [0.0, 0, []])
+                entry[0] = max(entry[0], stat.st_mtime)
+                entry[1] += stat.st_size
+                entry[2].append(path)
                 total += stat.st_size
             if total <= self.max_bytes:
                 return
-            entries.sort()  # oldest mtime first
-            for _, size, path in entries:
-                try:
-                    path.unlink()
-                except OSError:
+            ordered = sorted(
+                (mtime, size, members)
+                for mtime, size, members in groups.values()
+            )
+            for _, size, members in ordered:
+                removed = False
+                for path in members:
+                    try:
+                        path.unlink()
+                        removed = True
+                    except OSError:
+                        continue
+                if not removed:
                     continue
                 self.evictions += 1
                 total -= size

@@ -69,7 +69,10 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="auto", dest="exec_backend",
                         choices=list(BACKEND_CHOICES),
                         help="execution engine (auto = numpy when available; "
-                             "jit compiles each program once and caches it)")
+                             "jit compiles each program once and caches it; "
+                             "native additionally compiles kernels to machine "
+                             "code with the host C compiler, degrading to jit "
+                             "when no compiler is found)")
     parser.add_argument("--scalar-backend", default="auto",
                         dest="scalar_backend",
                         choices=list(SCALAR_BACKEND_CHOICES),

@@ -2,6 +2,7 @@
 
 from repro.export.altivec import AltivecBackend
 from repro.export.cgen import Backend, CEmitter
+from repro.export.portable import PortableBackend
 from repro.export.sse import SseBackend
 from repro.export.validate import (
     BACKENDS,
@@ -12,7 +13,7 @@ from repro.export.validate import (
 )
 
 __all__ = [
-    "AltivecBackend", "Backend", "CEmitter", "SseBackend",
+    "AltivecBackend", "Backend", "CEmitter", "PortableBackend", "SseBackend",
     "BACKENDS", "CrossValidationReport", "cross_validate", "export_c",
     "find_compiler",
 ]

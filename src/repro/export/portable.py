@@ -1,0 +1,256 @@
+"""Portable plain-C backend for the C exporter — and the native tier.
+
+Unlike the SSE/AltiVec backends, which map vector operations onto a
+specific ISA's intrinsics (and must *reject* ops the ISA cannot express
+exactly, e.g. SSE ``pavg`` rounds up where our ``avg`` floors), this
+backend emits standard C that any GCC/Clang-compatible compiler accepts
+on any host: a vector is a ``struct { uint8_t b[V]; }`` and every op is
+a per-lane loop with the virtual machine's exact semantics —
+
+* ``add``/``sub``/``mul`` are modular on the unsigned lane bits
+  (widened through ``uint64_t`` so C integer promotion can never make
+  an intermediate product undefined);
+* ``min``/``max`` compare signed or unsigned per the element type;
+* ``avg`` widens per the element signedness and floors
+  (``(a + b) >> 1`` on ``int64_t`` — an arithmetic shift on GCC/Clang);
+* ``sadd``/``ssub`` widen, clip to the element range, and re-wrap;
+* ``viota`` floor-divides the (possibly negative) counter exactly like
+  :func:`repro.machine.vec.viota`.
+
+At ``-O3`` the compilers auto-vectorize these lane loops, so the native
+execution tier gets real SIMD instructions without this module ever
+naming an ISA.  Every op is expressible, so — unlike SSE/AltiVec —
+``CodegenError`` is never raised for an op/dtype combination, which is
+what the native tier needs from its default dialect.
+
+Little-endian hosts only (lane order in memory matters); the emitted
+unit refuses to compile elsewhere rather than silently diverge.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.ir.types import DataType
+from repro.export.cgen import Backend, C_TYPES
+
+
+class PortableBackend(Backend):
+    name = "portable"
+    vector_type = "simdal_vec"
+
+    def headers(self) -> list[str]:
+        return []
+
+    def helpers(self, V: int, dtype: DataType) -> str:
+        if V % dtype.size != 0:
+            raise CodegenError(
+                f"vector length {V} is not a multiple of lane size {dtype.size}"
+            )
+        B = V // dtype.size
+        lane = C_TYPES[dtype.name]
+        ulane = f"uint{dtype.size * 8}_t"
+        lo, hi = dtype.min_value, dtype.max_value
+        if dtype.signed:
+            widen = f"(int64_t)(simdal_lane)"
+        else:
+            widen = f"(int64_t)"
+        return f"""
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__
+#error "the simdal portable backend assumes a little-endian host"
+#endif
+
+#define SIMDAL_V {V}
+#define SIMDAL_B {B}
+typedef {lane} simdal_lane;
+typedef {ulane} simdal_ulane;
+typedef struct {{ uint8_t b[SIMDAL_V]; }} simdal_vec;
+
+static inline simdal_ulane simdal_lane_get(const uint8_t *p, int l) {{
+    simdal_ulane x;
+    memcpy(&x, p + (size_t)l * sizeof x, sizeof x);
+    return x;
+}}
+
+static inline void simdal_lane_put(uint8_t *p, int l, simdal_ulane x) {{
+    memcpy(p + (size_t)l * sizeof x, &x, sizeof x);
+}}
+
+static inline simdal_vec simdal_load(const void *p) {{
+    simdal_vec v;
+    memcpy(v.b, p, SIMDAL_V);
+    return v;
+}}
+
+static inline void simdal_store(void *p, simdal_vec v) {{
+    memcpy(p, v.b, SIMDAL_V);
+}}
+
+static inline simdal_vec simdal_shiftpair(simdal_vec a, simdal_vec b,
+                                          int64_t k) {{
+    /* bytes k..k+V-1 of the concatenation a++b, k in [0, V] */
+    uint8_t buf[2 * SIMDAL_V];
+    simdal_vec r;
+    memcpy(buf, a.b, SIMDAL_V);
+    memcpy(buf + SIMDAL_V, b.b, SIMDAL_V);
+    memcpy(r.b, buf + k, SIMDAL_V);
+    return r;
+}}
+
+static inline simdal_vec simdal_splice(simdal_vec a, simdal_vec b,
+                                       int64_t point) {{
+    /* first `point` bytes from a, the rest from b (point in [0, V]) */
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_V; l++)
+        r.b[l] = (int64_t)l < point ? a.b[l] : b.b[l];
+    return r;
+}}
+
+static inline simdal_vec simdal_splat(int64_t x) {{
+    simdal_vec r;
+    simdal_ulane z = (simdal_ulane)x;
+    for (int l = 0; l < SIMDAL_B; l++)
+        simdal_lane_put(r.b, l, z);
+    return r;
+}}
+
+static inline simdal_vec simdal_iota(int64_t x) {{
+    /* lanes of the V-aligned window holding element counter x; the
+       counter can be negative in prologue displacements, so divide
+       with floor semantics */
+    int64_t m = x >= 0 ? x / SIMDAL_B : ~((~x) / SIMDAL_B);
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++)
+        simdal_lane_put(r.b, l, (simdal_ulane)(m * SIMDAL_B + l));
+    return r;
+}}
+
+static inline simdal_vec simdal_op_add(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        uint64_t x = simdal_lane_get(a.b, l), y = simdal_lane_get(b.b, l);
+        simdal_lane_put(r.b, l, (simdal_ulane)(x + y));
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_sub(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        uint64_t x = simdal_lane_get(a.b, l), y = simdal_lane_get(b.b, l);
+        simdal_lane_put(r.b, l, (simdal_ulane)(x - y));
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_mul(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        uint64_t x = simdal_lane_get(a.b, l), y = simdal_lane_get(b.b, l);
+        simdal_lane_put(r.b, l, (simdal_ulane)(x * y));
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_and(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_V; l++)
+        r.b[l] = a.b[l] & b.b[l];
+    return r;
+}}
+
+static inline simdal_vec simdal_op_or(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_V; l++)
+        r.b[l] = a.b[l] | b.b[l];
+    return r;
+}}
+
+static inline simdal_vec simdal_op_xor(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_V; l++)
+        r.b[l] = a.b[l] ^ b.b[l];
+    return r;
+}}
+
+static inline simdal_vec simdal_op_min(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        simdal_ulane x = simdal_lane_get(a.b, l), y = simdal_lane_get(b.b, l);
+        int64_t wx = {widen}x, wy = {widen}y;
+        simdal_lane_put(r.b, l, wx < wy ? x : y);
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_max(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        simdal_ulane x = simdal_lane_get(a.b, l), y = simdal_lane_get(b.b, l);
+        int64_t wx = {widen}x, wy = {widen}y;
+        simdal_lane_put(r.b, l, wx > wy ? x : y);
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_avg(simdal_vec a, simdal_vec b) {{
+    /* floor average on the widened lane values (arithmetic shift) */
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        int64_t wx = {widen}simdal_lane_get(a.b, l);
+        int64_t wy = {widen}simdal_lane_get(b.b, l);
+        simdal_lane_put(r.b, l, (simdal_ulane)((wx + wy) >> 1));
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_sadd(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        int64_t w = {widen}simdal_lane_get(a.b, l)
+                  + {widen}simdal_lane_get(b.b, l);
+        if (w < {lo}) w = {lo};
+        if (w > {hi}) w = {hi};
+        simdal_lane_put(r.b, l, (simdal_ulane)w);
+    }}
+    return r;
+}}
+
+static inline simdal_vec simdal_op_ssub(simdal_vec a, simdal_vec b) {{
+    simdal_vec r;
+    for (int l = 0; l < SIMDAL_B; l++) {{
+        int64_t w = {widen}simdal_lane_get(a.b, l)
+                  - {widen}simdal_lane_get(b.b, l);
+        if (w < {lo}) w = {lo};
+        if (w > {hi}) w = {hi};
+        simdal_lane_put(r.b, l, (simdal_ulane)w);
+    }}
+    return r;
+}}
+"""
+
+    def load(self, ptr: str) -> str:
+        return f"simdal_load({ptr})"
+
+    def store(self, ptr: str, value: str) -> str:
+        return f"simdal_store({ptr}, {value})"
+
+    def shiftpair(self, a: str, b: str, shift: str, const_shift: int | None) -> str:
+        if const_shift == 0:
+            return a
+        return f"simdal_shiftpair({a}, {b}, {shift})"
+
+    def splice(self, a: str, b: str, point: str) -> str:
+        return f"simdal_splice({a}, {b}, {point})"
+
+    def splat(self, value: str, dtype: DataType) -> str:
+        return f"simdal_splat((int64_t)({value}))"
+
+    def iota(self, counter_expr: str, dtype: DataType, V: int) -> str:
+        return f"simdal_iota({counter_expr})"
+
+    def binop(self, op_name: str, a: str, b: str, dtype: DataType) -> str:
+        known = ("add", "sub", "mul", "and", "or", "xor", "min", "max",
+                 "avg", "sadd", "ssub")
+        if op_name not in known:
+            raise CodegenError(f"no portable mapping for op {op_name!r}")
+        return f"simdal_op_{op_name}({a}, {b})"

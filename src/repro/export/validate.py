@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.errors import VerificationError
 from repro.export.altivec import AltivecBackend
 from repro.export.cgen import CEmitter, C_TYPES, c_ident
+from repro.export.portable import PortableBackend
 from repro.export.sse import SseBackend
 from repro.ir.expr import Loop
 from repro.machine.scalar import RunBindings, run_scalar
@@ -37,7 +38,8 @@ from repro.simdize.options import SimdOptions
 from repro.simdize.verify import fill_random, make_space
 from repro.vir.program import VProgram
 
-BACKENDS = {"sse": SseBackend, "altivec": AltivecBackend}
+BACKENDS = {"sse": SseBackend, "altivec": AltivecBackend,
+            "portable": PortableBackend}
 
 
 def export_c(program: VProgram, backend: str = "sse", name: str | None = None) -> str:

@@ -42,7 +42,7 @@ from repro.machine.trace import Trace
 from repro.vir.program import VProgram
 
 #: Names accepted wherever a backend is selected (CLI, verify, bench).
-BACKEND_CHOICES = ("auto", "bytes", "numpy", "jit")
+BACKEND_CHOICES = ("auto", "bytes", "numpy", "jit", "native")
 #: Names accepted wherever a scalar-reference engine is selected.
 SCALAR_BACKEND_CHOICES = ("auto", "bytes", "numpy")
 
@@ -125,6 +125,18 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
         from repro.machine.jit import JitBackend
 
         return JitBackend()
+    if name == "native":
+        if not numpy_available():
+            raise MachineError(
+                "the native execution backend needs numpy installed "
+                "(pip install 'repro[fast]'); use backend='bytes' or 'auto'"
+            )
+        # No compiler requirement here: a missing toolchain is a
+        # run-time degradation (native → jit with one warning), not a
+        # configuration error — hosts without cc still accept the flag.
+        from repro.machine.native import NativeBackend
+
+        return NativeBackend()
     raise MachineError(
         f"unknown execution backend {name!r}; choose from {BACKEND_CHOICES}"
     )
@@ -147,6 +159,7 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
 
 #: Ordered fallback tiers per requested vector backend.
 DEGRADATION_CHAIN: dict[str, tuple[str, ...]] = {
+    "native": ("native", "jit", "numpy", "bytes"),
     "jit": ("jit", "numpy", "bytes"),
     "numpy": ("numpy", "bytes"),
     "bytes": ("bytes",),
@@ -352,16 +365,24 @@ def run_vector_batch(engine: ExecutionBackend, runs: list) -> list:
 
 
 def jit_compile_stats() -> dict:
-    """A snapshot of the jit engine's compile/cache counters.
+    """A snapshot of the compiled engines' compile/cache counters.
 
-    Import-free on purpose: when the jit module was never loaded there
-    is nothing to report and the (possibly numpy-less) interpreter must
-    not be forced to import it, so this returns ``{}``.
+    Import-free on purpose: when a compiled tier's module was never
+    loaded there is nothing to report and the (possibly numpy-less)
+    interpreter must not be forced to import it.  The jit engine's
+    counters appear under their own names; the native engine's are
+    folded in under a ``native_`` prefix (``native_cc_s``,
+    ``native_memory_hits``, …) so one snapshot covers both tiers.
     """
     import sys
 
     module = sys.modules.get("repro.machine.jit")
-    return dict(module.STATS) if module is not None else {}
+    stats = dict(module.STATS) if module is not None else {}
+    native = sys.modules.get("repro.machine.native")
+    if native is not None:
+        for stat, value in native.STATS.items():
+            stats[f"native_{stat}"] = value
+    return stats
 
 
 # ---------------------------------------------------------------------------

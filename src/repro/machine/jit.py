@@ -1466,9 +1466,25 @@ def clear_memory_cache() -> None:
 # ---------------------------------------------------------------------------
 
 class JitBackend:
-    """Compile-once execution of vector programs (bit-exact vs bytes)."""
+    """Compile-once execution of vector programs (bit-exact vs bytes).
+
+    The three ``_kernel_for`` / ``_steady`` / ``_steady_batch`` hooks
+    are the entire subclass surface: the native backend
+    (:mod:`repro.machine.native`) overrides them to swap the steady
+    loop for a compiled C kernel while inheriting the guard, section,
+    and trip machinery unchanged.
+    """
 
     name = "jit"
+
+    def _kernel_for(self, program):
+        return get_kernel(program)
+
+    def _steady(self, env, steady, kernel) -> bool:
+        return _run_steady(env, steady, kernel)
+
+    def _steady_batch(self, live, kernel) -> dict:
+        return _run_steady_batch(live, kernel)
 
     def run(
         self,
@@ -1498,7 +1514,7 @@ class JitBackend:
         elif env.trip != program.source.upper and isinstance(program.source.upper, int):
             raise MachineError("compile-time trip count mismatch")
 
-        kernel = get_kernel(program)
+        kernel = self._kernel_for(program)
         if kernel.pre is not None:
             kernel.pre(env)
         else:
@@ -1507,7 +1523,7 @@ class JitBackend:
                 interp._exec_section(env, section)
         fell_back = False
         if program.steady is not None:
-            fell_back = _run_steady(env, program.steady, kernel)
+            fell_back = self._steady(env, program.steady, kernel)
         if kernel.post is not None:
             kernel.post(env)
         else:
@@ -1562,7 +1578,7 @@ class JitBackend:
             live.append((i, env))
         if not live:
             return results
-        kernel = get_kernel(live[0][1].program)
+        kernel = self._kernel_for(live[0][1].program)
         for _, env in live:
             if kernel.pre is not None:
                 kernel.pre(env)
@@ -1572,7 +1588,7 @@ class JitBackend:
                     interp._exec_section(env, section)
         fell: dict[int, bool] = {i: False for i, _ in live}
         if live[0][1].program.steady is not None:
-            fell = _run_steady_batch(live, kernel)
+            fell = self._steady_batch(live, kernel)
         for i, env in live:
             if kernel.post is not None:
                 kernel.post(env)

@@ -1,0 +1,773 @@
+"""Native codegen backend: signature kernels compiled to machine code.
+
+The jit tier (:mod:`repro.machine.jit`) stops at generated NumPy-Python
+source.  This tier closes the paper's loop: for each structural program
+signature it lowers the :class:`~repro.vir.program.VProgram` through
+the C emitter (:mod:`repro.export.cgen` with the portable plain-C
+dialect — the SSE/AltiVec emitters stay export-only) into a translation
+unit holding the scalar reference loop, the simdized loop, and a
+*steady-loop kernel* with the flat-buffer ABI this module calls, then
+compiles it with the system toolchain (``cc -O3 -shared -fPIC``), loads
+the shared object via :mod:`ctypes`, and invokes it on the run's
+existing byte buffers with zero-copy pointer passing.
+
+Division of labour — native is the jit engine with the steady loop
+swapped out:
+
+* prologue/epilogue sections, the guard fallback, trip resolution, and
+  all counter bookkeeping stay on the jit/interp machinery (sections
+  are a handful of V-byte ops; the steady loop is where the time is);
+* the per-run window/collision analysis is jit's own
+  :func:`~repro.machine.jit._window_bases`, reused verbatim so native
+  batches and falls back on **exactly** the same runs (the
+  ``used_fallback`` parity contract).  For every accepted run the
+  colliding loads read pre-loop memory in sequential order too, so the
+  C kernel executes the original statement sequence iteration by
+  iteration and needs no snapshot buffer;
+* operation counters remain analytic
+  (:func:`~repro.machine.jit._bump_steady_counters`), so OPD tables
+  are byte-identical to the bytes oracle.
+
+Kernels are cached at two tiers keyed on the structural signature:
+an in-process LRU of loaded ``ctypes`` functions, and the shared disk
+cache holding the ``.c`` source and ``.so`` object as sibling
+artifacts under a key versioned by package version,
+:data:`NATIVE_CODE_VERSION`, and the *compiler identity* (path plus
+``--version`` line), so a toolchain upgrade can never resurrect a
+stale object.  A corrupted or truncated ``.so`` fails its content
+digest and the whole entry group is quarantined, never raised.
+
+Hosts without a C compiler (and ``REPRO_FAULT=compile:*`` runs) raise
+:class:`NativeUnavailable` from kernel acquisition — before any memory
+mutation — which the resilient chain turns into a structured
+``native → jit`` degradation with one warning per process.
+
+This module is only imported when NumPy is present (it builds on the
+jit tier); use :func:`repro.machine.backend.get_backend` for gated
+access.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+import warnings
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache import get_cache
+from repro.errors import CodegenError, MachineError
+from repro.export.cgen import CEmitter
+from repro.export.portable import PortableBackend
+from repro.faults import fault as _fault
+from repro.machine import interp, jit, npbackend
+from repro.machine import vector as vec
+from repro.machine.jit import JitBackend
+from repro.vir.program import VProgram
+from repro.vir.vexpr import (
+    SConst,
+    VBinE,
+    VExpr,
+    VIotaE,
+    VLoadE,
+    VRegE,
+    VShiftPairE,
+    VSpliceE,
+    VSplatE,
+)
+from repro.vir.vstmt import SetV, VStoreS
+
+#: Bump when the emitted C kernel layout or ABI changes: disk entries
+#: written by older code must never load.
+NATIVE_CODE_VERSION = 1
+
+#: Compile/cache counters (process-wide; surfaced with a ``native_``
+#: prefix by :func:`repro.machine.backend.jit_compile_stats`).
+STATS = {
+    "codegens": 0,       # C translation units emitted from scratch
+    "memory_hits": 0,    # loaded ctypes kernel reused
+    "memory_misses": 0,
+    "disk_hits": 0,      # .so loaded from the disk cache
+    "disk_misses": 0,
+    "cc_s": 0.0,         # seconds inside the system compiler
+    "load_s": 0.0,       # seconds loading shared objects
+}
+
+#: Symbol name of the appended steady-loop kernel in every native TU.
+KERNEL_SYMBOL = "simdal_steady"
+
+
+class NativeUnavailable(MachineError):
+    """The native tier cannot produce a kernel on this host.
+
+    Carries ``phase = "compile"`` so the resilient chain files the
+    native → jit degradation under the compile phase.
+    """
+
+    phase = "compile"
+
+
+class _CantEmit(Exception):
+    """A steady form outside the C emitter's subset (delegate to jit)."""
+
+
+# ---------------------------------------------------------------------------
+# Steady-kernel C emission
+# ---------------------------------------------------------------------------
+#
+# The kernel ABI (fixed; versioned by NATIVE_CODE_VERSION):
+#
+#   void simdal_steady(uint8_t *mem, int64_t lb, int64_t n,
+#                      const int64_t *wb, const int64_t *scal,
+#                      const uint8_t *cvec, uint8_t *vregs)
+#
+# * mem   — the run's whole memory image (Memory.raw(), zero-copy)
+# * lb, n — steady lower bound and iteration count
+# * wb    — one absolute V-aligned window base per spec.win_keys entry
+#           (window address at iteration t is wb[k] + t*stride)
+# * scal  — checked runtime shift amounts then splice points, in table
+#           order (loop-invariant: the steady sequence is SetV/VStoreS
+#           only, so every SExpr operand is fixed for the whole run)
+# * cvec  — one V-byte splat constant per splat-table entry
+# * vregs — len(vreg_names) V-byte slots: Python seeds the registers
+#           the loop reads before writing, C writes back every SetV
+#           target's final value for the epilogue
+#
+# Statements execute in ORIGINAL sequence order, one iteration at a
+# time — exactly the interpreter's semantics — so loop-carried reads
+# and reductions need no special lowering, and every run accepted by
+# _window_bases produces the same bytes the batched jit kernel does.
+
+@dataclass
+class _NativeMeta:
+    """Picklable invoke-time tables (this is what the disk cache holds)."""
+
+    signature: str
+    source: str = ""
+    so_sha256: str = ""
+    vreg_names: tuple = ()   # vregs-buffer slot order
+    seed_regs: tuple = ()    # read-before-write registers Python seeds
+    out_regs: tuple = ()     # SetV targets C writes back
+    shifts: tuple = ()       # runtime vshiftpair SExprs, scal[] order
+    points: tuple = ()       # runtime vsplice SExprs, after shifts
+    splats: tuple = ()       # (operand SExpr, dtype) per cvec block
+    bad_amounts: tuple = ()  # (what, value) compile-time out-of-range
+
+
+@dataclass
+class _NativeKernel:
+    """A jit kernel plus (when emission and cc succeeded) its C steady."""
+
+    jk: jit._Kernel
+    meta: _NativeMeta | None
+    cfn: object | None       # ctypes function, or None to delegate to jit
+    plan: object = None      # lazy per-process _InvokePlan (never pickled)
+
+    @property
+    def spec(self) -> jit._KernelSpec:
+        return self.jk.spec
+
+    @property
+    def pre(self):
+        return self.jk.pre
+
+    @property
+    def post(self):
+        return self.jk.post
+
+
+class _KernelEmitter:
+    """Lowers a batchable steady sequence to the C kernel + its tables."""
+
+    def __init__(self, program: VProgram, spec: jit._KernelSpec):
+        self.program = program
+        self.spec = spec
+        self.V = spec.V
+        self.stride = spec.stride
+        self.dtype = program.source.dtype
+        self._win_idx = {key: k for k, key in enumerate(spec.win_keys)}
+        self.names: list[str] = []       # register -> vregs slot order
+        self._slot: dict[str, int] = {}
+        self.seeds: dict[str, None] = {}
+        self.shifts: list = []
+        self._shift_idx: dict = {}
+        self.points: list = []
+        self._point_idx: dict = {}
+        self.splats: list = []
+        self._splat_idx: dict = {}
+        self.bad_amounts: list = []
+        self.assign_pos: dict[str, int] = {}
+
+    def slot(self, reg: str) -> int:
+        idx = self._slot.get(reg)
+        if idx is None:
+            idx = self._slot[reg] = len(self.names)
+            self.names.append(reg)
+        return idx
+
+    def _window(self, addr) -> str:
+        k = self._win_idx.get((addr.array, addr.elem))
+        if k is None:
+            raise _CantEmit(f"address {addr} missing from the window table")
+        return f"mem + wb[{k}] + t * {self.stride}"
+
+    def _amount(self, amount, kind: str) -> str:
+        what = "vshiftpair shift" if kind == "shift" else "vsplice point"
+        if isinstance(amount, int):
+            if 0 <= amount <= self.V:
+                return str(amount)
+            # Must still raise the jit engine's MachineError at invoke
+            # time, from the same pre-mutation point.
+            self.bad_amounts.append((what, amount))
+            return "0"
+        table = self.shifts if kind == "shift" else self.points
+        index = self._shift_idx if kind == "shift" else self._point_idx
+        idx = index.get(amount)
+        if idx is None:
+            idx = index[amount] = len(table)
+            table.append(amount)
+        offset = idx if kind == "shift" else len(self.shifts) + idx
+        return f"scal[{offset}]"
+
+    def vexpr(self, expr: VExpr, pos: int) -> str:
+        if isinstance(expr, VLoadE):
+            return f"simdal_load({self._window(expr.addr)})"
+        if isinstance(expr, VRegE):
+            defining = self.assign_pos.get(expr.name)
+            if defining is None or defining >= pos:
+                # Invariant or loop-carried: Python seeds the pre-loop
+                # value; sequential execution does the rest.
+                self.seeds.setdefault(expr.name)
+            return f"v{self.slot(expr.name)}"
+        if isinstance(expr, VShiftPairE):
+            a = self.vexpr(expr.a, pos)
+            b = self.vexpr(expr.b, pos)
+            s = self._amount(expr.shift, "shift")
+            return f"simdal_shiftpair({a}, {b}, {s})"
+        if isinstance(expr, VSpliceE):
+            a = self.vexpr(expr.a, pos)
+            b = self.vexpr(expr.b, pos)
+            p = self._amount(expr.point, "point")
+            return f"simdal_splice({a}, {b}, {p})"
+        if isinstance(expr, VSplatE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("splat dtype differs from the loop dtype")
+            key = (expr.operand, expr.dtype)
+            idx = self._splat_idx.get(key)
+            if idx is None:
+                idx = self._splat_idx[key] = len(self.splats)
+                self.splats.append(key)
+            return f"simdal_load(cvec + {idx * self.V})"
+        if isinstance(expr, VIotaE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("iota dtype differs from the loop dtype")
+            return f"simdal_iota(i + ({expr.bias}))"
+        if isinstance(expr, VBinE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("binop dtype differs from the loop dtype")
+            a = self.vexpr(expr.a, pos)
+            b = self.vexpr(expr.b, pos)
+            return f"simdal_op_{expr.op.name}({a}, {b})"
+        raise _CantEmit(f"no C lowering for {type(expr).__name__}")
+
+    def emit(self) -> tuple[str, _NativeMeta]:
+        steady = self.program.steady
+        seq = list(steady.body) + list(steady.bottom)
+        for pos, stmt in enumerate(seq):
+            if isinstance(stmt, SetV):
+                self.assign_pos[stmt.reg] = pos
+        body: list[str] = []
+        outs: list[str] = []
+        for pos, stmt in enumerate(seq):
+            if isinstance(stmt, SetV):
+                text = self.vexpr(stmt.expr, pos)
+                body.append(f"        v{self.slot(stmt.reg)} = {text};")
+                if stmt.reg not in outs:
+                    outs.append(stmt.reg)
+            elif isinstance(stmt, VStoreS):
+                text = self.vexpr(stmt.src, pos)
+                body.append(
+                    f"        simdal_store({self._window(stmt.addr)}, {text});"
+                )
+            else:
+                raise _CantEmit(f"no C lowering for {type(stmt).__name__}")
+        V = self.V
+        lines = [
+            f"void {KERNEL_SYMBOL}(uint8_t *mem, int64_t lb, int64_t n,",
+            "                   const int64_t *wb, const int64_t *scal,",
+            "                   const uint8_t *cvec, uint8_t *vregs) {",
+            "    (void)lb; (void)wb; (void)scal; (void)cvec; (void)vregs;",
+        ]
+        for k in range(len(self.names)):
+            lines.append(f"    simdal_vec v{k};")
+        for name in self.seeds:
+            lines.append(
+                f"    v{self.slot(name)} = "
+                f"simdal_load(vregs + {self.slot(name) * V});"
+            )
+        lines.append("    for (int64_t t = 0; t < n; t++) {")
+        lines.append(f"        int64_t i = lb + t * {self.spec.step};")
+        lines.append("        (void)i;")
+        lines.extend(body)
+        lines.append("    }")
+        for name in outs:
+            lines.append(
+                f"    simdal_store(vregs + {self.slot(name) * V}, "
+                f"v{self.slot(name)});"
+            )
+        lines.append("}")
+        meta = _NativeMeta(
+            signature=self.spec.signature,
+            vreg_names=tuple(self.names),
+            seed_regs=tuple(self.seeds),
+            out_regs=tuple(outs),
+            shifts=tuple(self.shifts),
+            points=tuple(self.points),
+            splats=tuple(self.splats),
+            bad_amounts=tuple(self.bad_amounts),
+        )
+        return "\n".join(lines) + "\n", meta
+
+
+def emit_native_source(program: VProgram,
+                       spec: jit._KernelSpec) -> tuple[str, _NativeMeta]:
+    """The full native translation unit plus its invoke tables.
+
+    The unit is the portable-C export (scalar reference + simdized
+    loop, via :class:`~repro.export.cgen.CEmitter`) with the steady
+    kernel appended; when the full export hits a form outside the
+    exporter's subset, the unit degrades to helpers + kernel only —
+    the kernel is what this tier executes.  Raises :class:`_CantEmit`
+    when the steady sequence itself cannot be lowered.
+    """
+    backend = PortableBackend()
+    kernel_src, meta = _KernelEmitter(program, spec).emit()
+    try:
+        unit = CEmitter(program, backend).translation_unit()
+    except CodegenError:
+        unit = (
+            "/* generated by simdal: steady kernel only */\n"
+            "#include <stdint.h>\n"
+            "#include <string.h>\n"
+            + backend.helpers(program.V, program.source.dtype).rstrip()
+            + "\n"
+        )
+    meta.source = unit + "\n" + kernel_src
+    return meta.source, meta
+
+
+# ---------------------------------------------------------------------------
+# Compiler discovery and identity
+# ---------------------------------------------------------------------------
+
+_CC: tuple[str | None, str] | None = None   # (path-or-None, identity hash)
+_WARNED = False
+
+
+def _compiler_identity() -> tuple[str | None, str]:
+    """(compiler executable, identity hash) — cached per process.
+
+    The identity hash (path + first ``--version`` line) versions every
+    disk key, so objects compiled by one toolchain are invisible to
+    another.
+    """
+    global _CC
+    if _CC is not None:
+        return _CC
+    cc = os.environ.get("CC") or ""
+    found = shutil.which(cc) if cc else None
+    if found is None:
+        for name in ("gcc", "cc", "clang"):
+            found = shutil.which(name)
+            if found:
+                break
+    if found is None:
+        _CC = (None, "none")
+        return _CC
+    try:
+        proc = subprocess.run([found, "--version"], capture_output=True,
+                              text=True, timeout=30)
+        banner = (proc.stdout or proc.stderr).splitlines()[0] if \
+            (proc.stdout or proc.stderr) else ""
+    except Exception:
+        banner = ""
+    digest = hashlib.sha256(f"{found}\0{banner}".encode()).hexdigest()[:16]
+    _CC = (found, digest)
+    return _CC
+
+
+def _require_compiler() -> tuple[str, str]:
+    global _WARNED
+    cc, identity = _compiler_identity()
+    if cc is None:
+        if not _WARNED:
+            _WARNED = True
+            warnings.warn(
+                "no C compiler found (tried $CC, gcc, cc, clang); the "
+                "native backend degrades to the jit tier for this process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        raise NativeUnavailable(
+            "no C compiler available for the native backend"
+        )
+    return cc, identity
+
+
+_WORKDIR: Path | None = None
+
+
+def _workdir() -> Path:
+    """A process-lifetime scratch dir: loaded .so paths must outlive us."""
+    global _WORKDIR
+    if _WORKDIR is None:
+        _WORKDIR = Path(tempfile.mkdtemp(prefix="repro_native_"))
+        atexit.register(shutil.rmtree, _WORKDIR, ignore_errors=True)
+    return _WORKDIR
+
+
+def _load_so(path: Path):
+    lib = ctypes.CDLL(str(path))
+    fn = getattr(lib, KERNEL_SYMBOL)
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_uint8),   # mem
+        ctypes.c_int64,                   # lb
+        ctypes.c_int64,                   # n
+        ctypes.POINTER(ctypes.c_int64),   # wb
+        ctypes.POINTER(ctypes.c_int64),   # scal
+        ctypes.POINTER(ctypes.c_uint8),   # cvec
+        ctypes.POINTER(ctypes.c_uint8),   # vregs
+    ]
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Two-tier kernel cache
+# ---------------------------------------------------------------------------
+
+_NATIVE_CACHE: OrderedDict[str, _NativeKernel] = OrderedDict()
+_NATIVE_CACHE_MAX = 128
+
+#: Signatures whose cc invocation failed this process: retrying every
+#: run would pay a doomed subprocess per config, so the failure is
+#: memoized and re-raised cheaply (degradation stays per-run).
+_FAILED: dict[str, str] = {}
+
+
+def _disk_key(signature: str, cc_identity: str) -> str:
+    from repro import __version__
+
+    return (f"native-kernel:{__version__}:{NATIVE_CODE_VERSION}:"
+            f"{cc_identity}:{signature}")
+
+
+def _cache_put(signature: str, kernel: _NativeKernel) -> None:
+    if len(_NATIVE_CACHE) >= _NATIVE_CACHE_MAX:
+        _NATIVE_CACHE.popitem(last=False)
+    _NATIVE_CACHE[signature] = kernel
+
+
+def clear_memory_cache() -> None:
+    """Drop loaded kernels and memoized cc failures (tests use this)."""
+    _NATIVE_CACHE.clear()
+    _FAILED.clear()
+
+
+def _load_from_disk(disk, key: str, signature: str,
+                    jk: jit._Kernel) -> _NativeKernel | None:
+    """Warm path: validated meta + digest-checked .so, or None.
+
+    Any inconsistency — missing/orphaned artifact, digest mismatch,
+    dlopen failure — quarantines the whole entry group (cache
+    doctrine: corruption is a silent miss, never an exception).
+    """
+    entry = disk.get(key)
+    if not isinstance(entry, _NativeMeta) or entry.signature != signature:
+        return None
+    so_path = disk.artifact_path(key, ".so")
+    if so_path is None:
+        disk.quarantine_artifacts(key)
+        return None
+    try:
+        data = so_path.read_bytes()
+        if hashlib.sha256(data).hexdigest() != entry.so_sha256:
+            raise OSError("shared object digest mismatch")
+        start = time.perf_counter()
+        cfn = _load_so(so_path)
+        STATS["load_s"] += time.perf_counter() - start
+    except Exception:
+        disk.quarantine_artifacts(key)
+        return None
+    return _NativeKernel(jk=jk, meta=entry, cfn=cfn)
+
+
+def _compile_native(cc: str, key: str, signature: str, jk: jit._Kernel,
+                    program: VProgram, disk) -> _NativeKernel:
+    """Cold path: emit C, invoke cc, load, and persist the artifacts."""
+    try:
+        source, meta = emit_native_source(program, jk.spec)
+    except _CantEmit:
+        return _NativeKernel(jk=jk, meta=None, cfn=None)
+    STATS["codegens"] += 1
+    work = _workdir()
+    stem = hashlib.sha256(key.encode()).hexdigest()[:16]
+    c_path = work / f"{stem}.c"
+    so_path = work / f"{stem}.so"
+    c_path.write_text(source)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [cc, "-O3", "-shared", "-fPIC", "-o", str(so_path), str(c_path)],
+        capture_output=True, text=True,
+    )
+    STATS["cc_s"] += time.perf_counter() - start
+    if proc.returncode != 0:
+        reason = (f"{cc} failed (exit {proc.returncode}): "
+                  f"{proc.stderr.strip()[:500]}")
+        _FAILED[signature] = reason
+        raise NativeUnavailable(reason)
+    so_bytes = so_path.read_bytes()
+    meta.so_sha256 = hashlib.sha256(so_bytes).hexdigest()
+    start = time.perf_counter()
+    cfn = _load_so(so_path)
+    STATS["load_s"] += time.perf_counter() - start
+    if disk is not None:
+        disk.put_artifact(key, ".c", source.encode())
+        disk.put_artifact(key, ".so", so_bytes)
+        disk.put(key, meta)
+    return _NativeKernel(jk=jk, meta=meta, cfn=cfn)
+
+
+def get_native_kernel(program: VProgram) -> _NativeKernel:
+    """The loaded native kernel for this program's signature (cached)."""
+    signature = jit._cached_signature(program)
+    kernel = _NATIVE_CACHE.get(signature)
+    if kernel is not None:
+        _NATIVE_CACHE.move_to_end(signature)
+        STATS["memory_hits"] += 1
+        return kernel
+    STATS["memory_misses"] += 1
+    jk = jit.get_kernel(program)
+    if not jk.spec.batchable or jk.fn is None:
+        # The steady loop itself is unbatchable: there is nothing for a
+        # C kernel to run that jit's per-iteration path doesn't cover.
+        kernel = _NativeKernel(jk=jk, meta=None, cfn=None)
+        _cache_put(signature, kernel)
+        return kernel
+    failed = _FAILED.get(signature)
+    if failed is not None:
+        raise NativeUnavailable(failed)
+    _fault("compile")  # REPRO_FAULT=compile:… fails the cc step here
+    cc, identity = _require_compiler()
+    key = _disk_key(signature, identity)
+    disk = get_cache()
+    kernel = None
+    if disk is not None:
+        kernel = _load_from_disk(disk, key, signature, jk)
+        if kernel is not None:
+            STATS["disk_hits"] += 1
+        else:
+            STATS["disk_misses"] += 1
+    if kernel is None:
+        kernel = _compile_native(cc, key, signature, jk, program, disk)
+    _cache_put(signature, kernel)
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Steady-loop invocation
+# ---------------------------------------------------------------------------
+
+# ctypes array *types* are surprisingly expensive to create (a new
+# class per call); a sweep re-invokes kernels with a handful of
+# distinct buffer lengths, so the types are cached process-wide.
+_U8_ARRAYS: dict[int, type] = {}
+_I64_ARRAYS: dict[int, type] = {}
+
+
+def _u8_array(length: int) -> type:
+    atype = _U8_ARRAYS.get(length)
+    if atype is None:
+        atype = _U8_ARRAYS[length] = ctypes.c_uint8 * length
+    return atype
+
+
+def _i64_array(length: int) -> type:
+    atype = _I64_ARRAYS.get(length)
+    if atype is None:
+        atype = _I64_ARRAYS[length] = ctypes.c_int64 * length
+    return atype
+
+
+#: Cached-negative sentinel for the per-plan window-base memo.
+_UNBATCHABLE = object()
+
+
+class _InvokePlan:
+    """Per-kernel invoke constants, derived from the meta tables once.
+
+    Everything here is loop-invariant *and* run-invariant: register
+    slot offsets, and — when every splat operand is a literal — the
+    fully materialized cvec buffer (already a ctypes array, so warm
+    invokes marshal nothing for it).
+
+    ``wb_memo`` additionally memoizes :func:`jit._window_bases` per
+    array space: the analysis is a pure function of (spec, space,
+    lb, n, memory size) — array bases never move once placed and no
+    runtime scalar enters it — so steady-state repeated runs (the
+    sweep inner loop) skip the window/collision walk entirely.
+    Rejections are memoized too, so the fallback surface is identical
+    hot or cold.  Keyed weakly so retired spaces don't pin entries.
+    """
+
+    __slots__ = ("seed_offsets", "out_offsets", "vregs_len",
+                 "splats_dyn", "c_cvec_const", "wb_memo")
+
+    def __init__(self, meta: _NativeMeta, V: int):
+        self.wb_memo = weakref.WeakKeyDictionary()
+        slots = {name: k for k, name in enumerate(meta.vreg_names)}
+        self.seed_offsets = tuple((name, slots[name] * V)
+                                  for name in meta.seed_regs)
+        self.out_offsets = tuple((name, slots[name] * V)
+                                 for name in meta.out_regs)
+        self.vregs_len = max(1, len(meta.vreg_names) * V)
+        if all(isinstance(operand, SConst) for operand, _ in meta.splats):
+            consts = bytearray()
+            for operand, dtype in meta.splats:
+                consts += vec.vsplat(dtype.wrap(operand.value), dtype, V)
+            if not consts:
+                consts = bytearray(1)
+            self.splats_dyn = None
+            self.c_cvec_const = _u8_array(len(consts))(*consts)
+        else:
+            self.splats_dyn = meta.splats
+            self.c_cvec_const = None
+
+
+def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
+    """One C steady-loop call; every check precedes every mutation.
+
+    Raises :class:`jit._Unbatchable` (window analysis) or
+    :class:`MachineError` (range checks, unset registers) exactly where
+    the jit kernel's prelude would, so the fallback surface is shared.
+    """
+    spec = kernel.jk.spec
+    meta = kernel.meta
+    V = spec.V
+    plan = kernel.plan
+    if plan is None:
+        plan = kernel.plan = _InvokePlan(meta, V)
+    per_space = plan.wb_memo.get(env.space)
+    if per_space is None:
+        per_space = plan.wb_memo[env.space] = {}
+    wb_key = (lb, n, env.mem.size)
+    cached = per_space.get(wb_key)
+    if cached is None:
+        try:
+            cached = jit._window_bases(spec, env, lb, n)
+        except jit._Unbatchable:
+            per_space[wb_key] = _UNBATCHABLE
+            raise
+        per_space[wb_key] = cached
+    elif cached is _UNBATCHABLE:
+        raise jit._Unbatchable
+    bases, _snapshot = cached
+    for what, value in meta.bad_amounts:
+        raise MachineError(f"{what} {value} outside [0, {V}]")
+    amounts = [jit._checked_amount(env, expr, V, "vshiftpair shift")
+               for expr in meta.shifts]
+    amounts += [jit._checked_amount(env, expr, V, "vsplice point")
+                for expr in meta.points]
+    if plan.c_cvec_const is not None:
+        c_cvec = plan.c_cvec_const
+    else:
+        consts = bytearray()
+        for operand, dtype in plan.splats_dyn:
+            value = npbackend._peek_s(env, operand)
+            consts += vec.vsplat(dtype.wrap(value), dtype, V)
+        if not consts:
+            consts = bytearray(1)
+        c_cvec = _u8_array(len(consts)).from_buffer(consts)
+    vregs = bytearray(plan.vregs_len)
+    for name, offset in plan.seed_offsets:
+        vregs[offset:offset + V] = interp._read_vreg(env, name)
+
+    mem_buf = env.mem.raw()
+    c_mem = _u8_array(len(mem_buf)).from_buffer(mem_buf)
+    c_vregs = _u8_array(plan.vregs_len).from_buffer(vregs)
+    c_wb = _i64_array(max(1, len(bases)))(*bases)
+    c_scal = _i64_array(max(1, len(amounts)))(*amounts)
+    try:
+        kernel.cfn(c_mem, lb, n, c_wb, c_scal, c_cvec, c_vregs)
+    finally:
+        # Release the buffer exports so the bytearrays stay resizable
+        # and snapshot-restorable for callers.
+        del c_mem, c_vregs, c_cvec
+    for name, offset in plan.out_offsets:
+        env.vregs[name] = bytes(vregs[offset:offset + V])
+
+
+def _run_steady_at_native(env: interp._Env, steady, kernel: _NativeKernel,
+                          lb: int, ub: int) -> bool:
+    """Native twin of :func:`jit._run_steady_at`; True = per-iter path."""
+    if steady.step <= 0:
+        npbackend._steady_periter(env, steady, lb, ub)
+        return True
+    n = len(range(lb, ub, steady.step))
+    if n == 0:
+        return False
+    if kernel.cfn is None:
+        return jit._run_steady_at(env, steady, kernel.jk, lb, ub)
+    try:
+        _invoke(kernel, env, lb, n)
+    except jit._Unbatchable:
+        # Raised before any mutation, so the fallback replays the loop
+        # from unmodified state — same contract as the jit prelude.
+        npbackend._steady_periter(env, steady, lb, ub)
+        return True
+    jit._bump_steady_counters(env, kernel.jk.spec, n)
+    return False
+
+
+def _run_steady_native(env: interp._Env, steady,
+                       kernel: _NativeKernel) -> bool:
+    lb = interp._eval_s(env, steady.lb)
+    ub = interp._eval_s(env, steady.ub)
+    return _run_steady_at_native(env, steady, kernel, lb, ub)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+class NativeBackend(JitBackend):
+    """Machine-code execution of vector programs (bit-exact vs bytes).
+
+    Inherits the jit engine's run/guard/section machinery and swaps the
+    steady loop for the compiled C kernel via the three hook points.
+    """
+
+    name = "native"
+
+    def _kernel_for(self, program):
+        return get_native_kernel(program)
+
+    def _steady(self, env, steady, kernel):
+        return _run_steady_native(env, steady, kernel)
+
+    def _steady_batch(self, live, kernel):
+        # Per-env native execution: sections and trip handling already
+        # happened in run_batch; the C kernel is the batch win here
+        # (one machine-code loop per config, no NumPy dispatch at all).
+        fell: dict[int, bool] = {}
+        for i, env in live:
+            fell[i] = _run_steady_native(env, env.program.steady, kernel)
+        return fell

@@ -18,8 +18,12 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-#: Pipeline phases in reporting order.
-PHASES = ("synthesize", "simdize", "compile", "execute", "verify")
+#: Pipeline phases in reporting order.  ``cc`` and ``native_load``
+#: only appear when the native tier runs: C-compiler wall time and
+#: shared-object load/validate time, re-attributed out of ``execute``
+#: the same way lazy jit codegen is.
+PHASES = ("synthesize", "simdize", "compile", "cc", "native_load",
+          "execute", "verify")
 
 
 @dataclass
@@ -82,7 +86,7 @@ class PhaseProfile:
         lines.append(f"  {'total':<12s} {total:9.4f} s")
         cache_lines = []
         for name in ("simdize_memo", "simdize_disk", "kernel_memory",
-                     "kernel_disk"):
+                     "kernel_disk", "native_memory", "native_disk"):
             rate = self.hit_rate(name)
             if rate is not None:
                 hits = self.counts.get(f"{name}_hits", 0)

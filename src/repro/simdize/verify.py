@@ -255,17 +255,42 @@ def _attribute_jit_compile(
     execute phase and hide the compile-once win the profile exists to
     show.  Also folds the engine's kernel-cache counters (process-wide
     deltas) into the profile's counter namespace.
+
+    The stat dict is treated as open-ended: any ``*_s`` key is a
+    lazily-incurred wall-clock phase to re-attribute out of
+    ``execute`` (``_PHASE_FOR`` maps it to its reporting phase), and
+    any other key is a counter delta.  Counters already namespaced
+    (``native_*``) pass through unchanged so ``hit_rate()`` pairs line
+    up; bare jit counters gain the historical ``kernel_`` prefix.  New
+    engine tiers thus flow through without this function growing a
+    fixed phase list.
     """
     if not after:
         return
-    compile_s = after.get("compile_s", 0.0) - before.get("compile_s", 0.0)
-    if compile_s > 0:
-        profile.add("compile", compile_s)
-        profile.add("execute", -compile_s)
-    for stat in ("memory_hits", "memory_misses", "disk_hits", "disk_misses"):
-        delta = after.get(stat, 0) - before.get(stat, 0)
-        if delta:
-            profile.count(f"kernel_{stat}", delta)
+    for stat in after:
+        if stat.endswith("_s"):
+            phase = _PHASE_FOR.get(stat)
+            if phase is None:
+                continue
+            dt = after.get(stat, 0.0) - before.get(stat, 0.0)
+            if dt > 0:
+                profile.add(phase, dt)
+                profile.add("execute", -dt)
+        else:
+            delta = after.get(stat, 0) - before.get(stat, 0)
+            if not delta:
+                continue
+            name = stat if stat.startswith("native_") else f"kernel_{stat}"
+            profile.count(name, delta)
+
+
+#: Lazily-timed engine stats (``*_s`` keys from ``jit_compile_stats``)
+#: and the profile phase each one reports under.
+_PHASE_FOR = {
+    "compile_s": "compile",
+    "native_cc_s": "cc",
+    "native_load_s": "native_load",
+}
 
 
 def _first_mismatch(a: Memory, b: Memory, space: ArraySpace) -> str:

@@ -58,7 +58,8 @@ class TestRegistry:
     def test_unknown_backend_rejected(self):
         with pytest.raises(MachineError, match="unknown execution backend"):
             get_backend("cuda")
-        assert set(BACKEND_CHOICES) == {"auto", "bytes", "numpy", "jit"}
+        assert set(BACKEND_CHOICES) == {"auto", "bytes", "numpy", "jit",
+                                        "native"}
 
     def test_without_numpy_auto_falls_back(self, monkeypatch):
         import repro.machine.backend as backend_mod

@@ -1,12 +1,13 @@
-"""Differential property test: bytes, numpy, and jit engines agree.
+"""Differential property test: bytes, numpy, jit, and native agree.
 
 Hypothesis draws random synthesized loops, alignments, trip counts,
 and scheme combinations; for every draw all engines of **both backend
-axes** — the vector-program executors (bytes / numpy / jit) and the
-scalar-reference executors (bytes / numpy) — must produce
-byte-identical final memory **and** identical operation counters.
-This is the property that keeps the batched NumPy engine and the
-compile-once jit engine honest against their byte oracles — including
+axes** — the vector-program executors (bytes / numpy / jit, plus
+native when a host C compiler exists) and the scalar-reference
+executors (bytes / numpy) — must produce byte-identical final memory
+**and** identical operation counters.  This is the property that
+keeps the batched NumPy engine, the compile-once jit engine, and the
+cc-compiled native tier honest against their byte oracles — including
 the guarded scalar fallback, batched reductions, and colliding-window
 batches.
 """
@@ -29,6 +30,16 @@ from repro.simdize import SimdOptions, fill_random, make_space, simdize
 
 pytestmark = pytest.mark.skipif(not numpy_available(),
                                 reason="numpy not installed")
+
+if numpy_available():
+    from repro.machine import native
+    _HAVE_CC = native._compiler_identity()[0] is not None
+else:
+    _HAVE_CC = False
+
+#: The vector-executor axis; native joins only on hosts with a cc (a
+#: compiler-less host would silently test jit twice).
+VECTOR_ENGINES = ("bytes", "numpy", "jit") + (("native",) if _HAVE_CC else ())
 
 
 @st.composite
@@ -76,14 +87,14 @@ def test_backends_agree_on_random_loops(case):
     bindings = RunBindings(trip=trip)
 
     outcomes = {}
-    for name in ("bytes", "numpy", "jit"):
+    for name in VECTOR_ENGINES:
         mem = base.clone()
         run = get_backend(name).run(result.program, space, mem, bindings)
         outcomes[name] = (mem.snapshot(), run.counters.as_dict(),
                           run.trip, run.used_fallback)
 
     b = outcomes["bytes"]
-    for name in ("numpy", "jit"):
+    for name in VECTOR_ENGINES[1:]:
         n = outcomes[name]
         assert b[0] == n[0], f"final memory differs (bytes vs {name})"
         assert b[1] == n[1], \
