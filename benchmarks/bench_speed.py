@@ -21,6 +21,15 @@ Eight measurements over a fixed, seeded Figure-11 sweep:
   recorded target) and a 100% warm disk hit rate for the shared
   objects.  Skipped (recorded, not failed) on hosts without a C
   compiler.
+* **compile pipeline** — cold kernel acquisition one-cc-per-signature
+  vs one batched multi-kernel translation unit
+  (``compilequeue.precompile``), plus the async queue's foreground
+  cost: time to the first sweep results on the jit delegate while the
+  compiler runs behind them, vs the same pass on jit.  Bars: <= 6 cc
+  invocations for the full signature set, >= 1.25x batched cold
+  speedup, async foreground within 1.5x of jit when a spare core can
+  absorb the compiler (3x on single-CPU hosts, where the foreground
+  timeshares with cc) and always ahead of the blocking batch.
 * **scalar-engine time** — the scalar-reference engines on the same
   loops, bytes (per-iteration interpreter) vs numpy (whole-array
   shifted-window evaluation); bar: >= 10x.
@@ -297,6 +306,116 @@ def test_backend_speed():
             "disk_hit_rate": round(native_hit_rate, 2),
         }
 
+    # The batched, asynchronous compile pipeline on the same signature
+    # set: cold acquisition one-cc-per-kernel (the path CI forces with
+    # REPRO_NATIVE_PRECOMPILE=0) vs one batched precompile, then the
+    # async queue's foreground cost — time to the first sweep results
+    # on the jit delegate while cc runs behind them — against the same
+    # first pass on the jit engine.
+    pipeline_section: dict
+    if "skipped" in native_section:
+        pipeline_section = {"skipped": native_section["skipped"]}
+        pipeline_invocations = None
+        pipeline_cold_speedup = None
+        async_ratio = None
+    else:
+        from repro.machine import compilequeue
+
+        unique = []
+        seen_sigs = set()
+        for w in workloads:
+            sig = jit._cached_signature(w.program)
+            if sig not in seen_sigs:
+                seen_sigs.add(sig)
+                unique.append(w)
+
+        def _acquire_all() -> float:
+            start = time.perf_counter()
+            for w in unique:
+                native_mod.get_native_kernel(w.program)
+            return time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            set_cache_dir(cache_root)
+            try:
+                native_mod.clear_memory_cache()
+                pstats0 = dict(native_mod.STATS)
+                perkernel_cold_s = _acquire_all()
+                pstats1 = dict(native_mod.STATS)
+            finally:
+                reset_cache_dir()
+                native_mod.clear_memory_cache()
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            set_cache_dir(cache_root)
+            try:
+                native_mod.clear_memory_cache()
+                start = time.perf_counter()
+                compilequeue.precompile([w.program for w in unique])
+                _acquire_all()   # all memory hits after the batch
+                pipeline_cold_s = time.perf_counter() - start
+                pstats2 = dict(native_mod.STATS)
+            finally:
+                reset_cache_dir()
+                native_mod.clear_memory_cache()
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            set_cache_dir(cache_root)
+            try:
+                jit.clear_memory_cache()
+                native_mod.clear_memory_cache()
+                compilequeue.set_async_compile(True)
+                astats0 = dict(native_mod.STATS)
+                start = time.perf_counter()
+                for w in unique:
+                    get_backend("native").run(w.program, w.space,
+                                              w.mem.clone(), w.bindings)
+                async_first_s = time.perf_counter() - start
+                compilequeue.drain(timeout=120.0)
+                astats1 = dict(native_mod.STATS)
+            finally:
+                compilequeue.set_async_compile(None)
+                reset_cache_dir()
+                jit.clear_memory_cache()
+                native_mod.clear_memory_cache()
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            set_cache_dir(cache_root)
+            try:
+                jit.clear_memory_cache()
+                start = time.perf_counter()
+                for w in unique:
+                    get_backend("jit").run(w.program, w.space,
+                                           w.mem.clone(), w.bindings)
+                jit_first_s = time.perf_counter() - start
+            finally:
+                reset_cache_dir()
+                jit.clear_memory_cache()
+
+        perkernel_invocations = (pstats1["cc_invocations"]
+                                 - pstats0["cc_invocations"])
+        pipeline_invocations = (pstats2["cc_invocations"]
+                                - pstats1["cc_invocations"])
+        pipeline_cold_speedup = perkernel_cold_s / pipeline_cold_s
+        async_ratio = async_first_s / jit_first_s
+        pipeline_section = {
+            "signatures": len(unique),
+            "perkernel_cold_s": round(perkernel_cold_s, 4),
+            "perkernel_cc_invocations": perkernel_invocations,
+            "pipeline_cold_s": round(pipeline_cold_s, 4),
+            "pipeline_cc_invocations": pipeline_invocations,
+            "pipeline_tus": pstats2["tus"] - pstats1["tus"],
+            "cold_speedup": round(pipeline_cold_speedup, 2),
+            "async_first_result_s": round(async_first_s, 4),
+            "jit_first_result_s": round(jit_first_s, 4),
+            "async_overhead_ratio": round(async_ratio, 2),
+            "async_cc_invocations": (astats1["cc_invocations"]
+                                     - astats0["cc_invocations"]),
+            "async_cc_s": round(astats1["async_cc_s"]
+                                - astats0["async_cc_s"], 4),
+            "hot_swaps": astats1["hot_swaps"] - astats0["hot_swaps"],
+        }
+
     scalar_bytes_s = _time_scalar_engine(get_scalar_backend("bytes"), workloads)
     scalar_numpy_s = _time_scalar_engine(get_scalar_backend("numpy"), workloads)
     scalar_speedup = scalar_bytes_s / scalar_numpy_s
@@ -393,6 +512,7 @@ def test_backend_speed():
             "disk_hit_rate": round(disk_hit_rate, 2),
         },
         "native_run": native_section,
+        "native_pipeline": pipeline_section,
         "scalar_run": {
             "bytes_s": round(scalar_bytes_s, 4),
             "numpy_s": round(scalar_numpy_s, 4),
@@ -464,6 +584,19 @@ def test_backend_speed():
             f"warm disk {native_disk_hits}/{native_lookups} hits "
             f"({native_hit_rate * 100:.0f}%)",
         ]
+    if "skipped" not in pipeline_section:
+        lines += [
+            f"compile pipeline over {pipeline_section['signatures']} "
+            f"signatures:",
+            f"  per-kernel cold {perkernel_cold_s:8.4f} s "
+            f"({perkernel_invocations} cc invocations)",
+            f"  batched cold    {pipeline_cold_s:8.4f} s "
+            f"({pipeline_invocations} cc invocation, "
+            f"{pipeline_cold_speedup:.1f}x)",
+            f"  async first results {async_first_s:8.4f} s vs jit "
+            f"{jit_first_s:8.4f} s ({async_ratio:.2f}x foreground; "
+            f"{pipeline_section['hot_swaps']} hot swaps)",
+        ]
     lines += [
         f"scalar reference over {len(workloads)} loops (trip {SPEED_TRIP}, "
         f"best of {ROUNDS}):",
@@ -506,6 +639,31 @@ def test_backend_speed():
         assert native_hit_rate == 1.0, (
             f"native disk cache only hit {native_disk_hits}/{native_lookups} "
             f"warm loads")
+        # The compile pipeline: one batched cc invocation replaces one
+        # per signature, and the batch is measurably faster than the
+        # singleton path even after gcc's fixed per-launch overhead is
+        # subtracted.  The async foreground bar is host-aware: with a
+        # spare core the first jit-delegated pass runs within 1.5x of
+        # pure jit while cc proceeds beside it, but on a single-CPU
+        # host the foreground *timeshares the core with the compiler*
+        # (measured ~2.2x), so the bar there only excludes pathological
+        # serialization — the real claim on such hosts is the absolute
+        # one: first results land before the batched compile alone
+        # would have returned.
+        assert pipeline_invocations <= 6, (
+            f"pipeline used {pipeline_invocations} cc invocations "
+            f"for {pipeline_section['signatures']} signatures")
+        assert pipeline_cold_speedup >= 1.25, (
+            f"batched cold compile only {pipeline_cold_speedup:.2f}x "
+            f"over per-kernel")
+        async_bar = 1.5 if (os.cpu_count() or 1) > 1 else 3.0
+        assert async_ratio <= async_bar, (
+            f"async first results cost {async_ratio:.2f}x the jit "
+            f"first pass (bar {async_bar}x)")
+        assert async_first_s < pipeline_cold_s, (
+            f"async first results ({async_first_s:.2f} s) arrived "
+            f"later than the blocking batched compile "
+            f"({pipeline_cold_s:.2f} s)")
     assert scalar_speedup >= 10.0, (
         f"numpy scalar engine only {scalar_speedup:.1f}x faster")
     assert verify_speedup >= 5.0, (

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
 import sys
 import time
@@ -550,7 +551,7 @@ def _program_class_key(config: SweepConfig, result: SimdizeResult):
         from repro.machine.jit import _cached_signature
 
         return _cached_signature(result.program)
-    return (result.program.source.signature(), config.V, config.options)
+    return result.class_key()
 
 
 def measure_batch(
@@ -589,6 +590,16 @@ def measure_batch(
                                      profile)
         simdized.append(result)
         classes.setdefault(_program_class_key(config, result), []).append(idx)
+    if backend == "native" and numpy_available():
+        # Precompile-ahead: the signature classes are known before any
+        # config runs, so every cold native kernel compiles in one (or
+        # few) batched translation units instead of one cc per class.
+        from repro.machine import compilequeue
+
+        compilequeue.precompile(
+            [simdized[indices[0]].program for indices in classes.values()],
+            profile,
+        )
     measurements: list[Measurement | None] = [None] * len(configs)
     for indices in classes.values():
         items = []
@@ -693,6 +704,58 @@ def _batched_bins(configs: list[SweepConfig], jobs: int) -> list[list[int]]:
     return [b for b in bins if b]
 
 
+#: Most pending configs a parent will prewarm ahead of its workers:
+#: past this, serial lowering in the parent would dominate the very
+#: fan-out it is meant to accelerate.
+_PREWARM_LIMIT = 4096
+
+
+def _right_sized_jobs(jobs: int, policy: RunPolicy) -> int:
+    """Cap worker fan-out at the host's real parallelism.
+
+    Forking more workers than CPUs only adds dispatch and pickling
+    overhead — the measured jobs=2 sweep on a 1-CPU host was *slower*
+    than serial.  The cap stays out of the way whenever the pool is
+    load-bearing rather than a throughput lever: with a per-chunk
+    ``timeout`` or armed fault injection the caller wants process
+    isolation (kill-ability, blast-radius control), so the requested
+    fan-out passes through untouched.
+    """
+    if jobs <= 1 or policy.timeout is not None or faults.active():
+        return jobs
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def _prewarm_pending(configs: list[SweepConfig], backend: str,
+                     profile: PhaseProfile | None) -> None:
+    """Lower every pending config once in the parent before forking.
+
+    Workers fork from this process (and share its disk cache), so one
+    parent pass over synthesize+simdize turns every per-worker
+    lowering into a memo or disk hit instead of duplicated work — the
+    fix for the jobs=2 "parallel slower than serial" regression.  For
+    the native backend it then batch-precompiles all signature kernels
+    through the compile pipeline: one ``cc`` invocation ahead of the
+    sweep instead of one per signature per worker.
+
+    The simdize calls deliberately pass no profile: prewarming is not
+    a cache *lookup* made by any measurement, so it must not inflate
+    the memo hit/miss counters the profile reports (its wall clock
+    still lands in the synthesize/simdize phases via ``timed``).
+    """
+    programs = []
+    for config in configs:
+        with timed(profile, "synthesize"):
+            syn = synthesize(config.params, config.seed, config.V)
+        with timed(profile, "simdize"):
+            result = _cached_simdize(syn.loop, config.V, config.options)
+        programs.append(result.program)
+    if backend == "native" and numpy_available():
+        from repro.machine import compilequeue
+
+        compilequeue.precompile(programs, profile)
+
+
 def _measure_sweep_chunk(
     job: tuple[list[SweepConfig], str, str, str | None, bool]
 ) -> tuple[list[Measurement], PhaseProfile | None]:
@@ -782,6 +845,7 @@ def measure_many(
     # in every worker.
     faults.active()
     policy = run_policy or RunPolicy()
+    effective_jobs = _right_sized_jobs(jobs, policy)
     want_profile = profile is not None
     results: list = [None] * len(configs)
 
@@ -825,27 +889,43 @@ def measure_many(
 
     try:
         if pending:
-            if jobs <= 1:
+            if effective_jobs <= 1:
                 # Pure in-process run: leave the cache binding alone so
                 # its counters (and degraded/disabled state) persist.
                 cache_dir = None
             else:
                 cache_root = current_cache_dir()
                 cache_dir = str(cache_root) if cache_root is not None else ""
+            if len(pending) <= _PREWARM_LIMIT and (
+                    effective_jobs > 1
+                    or (backend == "native" and sweep_mode == "periter")):
+                # Batched+serial skips this: measure_batch precompiles
+                # its own signature classes after grouping.
+                _prewarm_pending([configs[i] for i in pending], backend,
+                                 profile)
             if sweep_mode == "batched":
                 worker = _measure_batch_chunk
-                if jobs <= 1 or len(pending) <= 1:
+                if effective_jobs <= 1 or len(pending) <= 1:
                     bins = [list(pending)]
                 else:
                     sub = [configs[i] for i in pending]
                     bins = [[pending[i] for i in indices]
-                            for indices in _batched_bins(sub, jobs)]
+                            for indices in _batched_bins(sub, effective_jobs)]
             else:
                 worker = _measure_sweep_chunk
-                if jobs <= 1 or len(pending) <= 1:
+                if effective_jobs <= 1 or len(pending) <= 1:
                     bins = [list(pending)]
                 else:
-                    chunksize = max(1, -(-len(pending) // (jobs * 4)))
+                    # One balanced chunk per worker by default — task
+                    # dispatch/pickling is the scaling killer on small
+                    # sweeps.  Under a chunk timeout or armed faults,
+                    # finer chunks bound the blast radius of a kill or
+                    # timeout to a few configs.
+                    if policy.timeout is not None or faults.active():
+                        chunks = effective_jobs * 4
+                    else:
+                        chunks = effective_jobs
+                    chunksize = max(1, -(-len(pending) // chunks))
                     bins = [pending[i:i + chunksize]
                             for i in range(0, len(pending), chunksize)]
 
@@ -853,8 +933,8 @@ def measure_many(
                 return ([configs[i] for i in indices], backend,
                         scalar_backend, cache_dir, want_profile)
 
-            _supervise([_Task(b) for b in bins], worker, make_job, jobs,
-                       policy, profile, on_done, on_failed)
+            _supervise([_Task(b) for b in bins], worker, make_job,
+                       effective_jobs, policy, profile, on_done, on_failed)
     finally:
         if journal is not None:
             journal.close()

@@ -53,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 import warnings
 from pathlib import Path
@@ -245,6 +246,53 @@ class DiskCache:
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+            os.replace(tmp, path)
+            tmp = None
+            self.puts += 1
+            self.write_failures = 0
+        except Exception:
+            self.errors += 1
+            self.write_failures += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if self.write_failures >= WRITE_FAILURE_LIMIT:
+                self.disabled = True
+                warnings.warn(
+                    f"repro disk cache at {self.root} is unwritable after "
+                    f"{self.write_failures} attempts; continuing with "
+                    f"in-process caching only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        self._evict_if_needed()
+
+    def put_artifact_file(self, key: str, suffix: str, src: Path) -> None:
+        """Store an existing file as ``key``'s ``suffix`` artifact.
+
+        Copies ``src`` into place as a *distinct inode*.  The batched
+        native pipeline compiles many signatures into one shared object
+        and files that ``.so`` under *every* signature's entry group
+        this way, keeping each group individually evictable.  A copy —
+        never a hardlink — is deliberate: the source object is usually
+        dlopen-mapped by the producing process, and a shared inode
+        would let in-place corruption of a cache entry (tampering,
+        partial writes) reach straight into live executable mappings.
+        Same atomic tmp+rename and never-fail discipline as
+        :meth:`put_artifact`.
+        """
+        if self.disabled:
+            return
+        path = self._path(key).with_suffix(suffix)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            os.close(fd)
+            shutil.copyfile(src, tmp)
             os.replace(tmp, path)
             tmp = None
             self.puts += 1

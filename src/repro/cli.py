@@ -84,6 +84,12 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="disk cache for compiled artifacts (default "
                              "~/.cache/repro or $REPRO_CACHE_DIR; '' disables)")
+    parser.add_argument("--async-compile", action="store_true",
+                        dest="async_compile",
+                        help="compile native kernels on a background thread "
+                             "and hot-swap them in as they land; runs start "
+                             "immediately on the jit tier (same as "
+                             "REPRO_NATIVE_ASYNC=1)")
 
 
 def _apply_cache_dir(args: argparse.Namespace) -> None:
@@ -91,6 +97,23 @@ def _apply_cache_dir(args: argparse.Namespace) -> None:
         from repro.cache import set_cache_dir
 
         set_cache_dir(args.cache_dir if args.cache_dir else None)
+    if getattr(args, "async_compile", False):
+        from repro.machine import compilequeue
+
+        compilequeue.set_async_compile(True)
+
+
+def _drain_async_compiles() -> None:
+    """Wait out queued background native compiles before exiting.
+
+    Their hot-swaps can no longer help this invocation, but the
+    compiled artifacts land in the shared disk cache so the *next*
+    process starts warm — the whole point of compiling ahead.
+    """
+    from repro.machine import compilequeue
+
+    if compilequeue.async_enabled():
+        compilequeue.drain(timeout=60.0)
 
 
 def _make_profile(args: argparse.Namespace):
@@ -151,6 +174,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"note: backend degraded to {fb['tier']!r} after a "
               f"{fb['phase']} failure in {'/'.join(fb['failed'])} "
               f"({fb['reason']})")
+    _drain_async_compiles()
     if profile is not None:
         print()
         print(profile.format())
@@ -239,6 +263,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     }
     result = builders[args.name]()
     print(result.format())
+    _drain_async_compiles()
     if profile is not None:
         print()
         print(profile.format())

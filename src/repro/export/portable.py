@@ -254,3 +254,26 @@ static inline simdal_vec simdal_op_ssub(simdal_vec a, simdal_vec b) {{
         if op_name not in known:
             raise CodegenError(f"no portable mapping for op {op_name!r}")
         return f"simdal_op_{op_name}({a}, {b})"
+
+
+def kernel_unit_prelude(V: int, dtype: DataType) -> str:
+    """The self-contained prelude of a steady-kernel translation unit.
+
+    Standard includes plus the full helper block for one ``(V, dtype)``
+    pair.  The helper names (``simdal_vec``, ``simdal_load``, …) are
+    fixed and dtype-parameterized, so one prelude serves *every* kernel
+    sharing the pair — the native compile pipeline batches all such
+    kernels into a single ``.c`` file behind one prelude and compiles
+    many signatures with one ``cc`` invocation.  Kernels with different
+    lane types must land in different translation units (the typedefs
+    would collide); all helpers are ``static inline`` so the resulting
+    objects link together without symbol clashes.
+    """
+    backend = PortableBackend()
+    return (
+        "/* generated by simdal: steady-kernel translation unit */\n"
+        "#include <stdint.h>\n"
+        "#include <string.h>\n"
+        + backend.helpers(V, dtype).rstrip()
+        + "\n"
+    )

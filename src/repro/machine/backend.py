@@ -156,6 +156,19 @@ def get_backend(name: str = "auto") -> ExecutionBackend:
 # tier propagate unchanged — there is nothing left to degrade to, and
 # a genuine program error (bad shift amount, unbound register) raises
 # the same exception from the oracle that the fast tier raised.
+#
+# Hot-swap interplay: in asynchronous compile mode (REPRO_NATIVE_ASYNC,
+# repro.machine.compilequeue) the native tier never *fails* on a cold
+# kernel — acquisition returns a jit-delegating kernel immediately and
+# the compiled machine code is swapped in mid-sweep when the background
+# queue delivers it.  That swap happens inside the native tier, below
+# this chain: no degradation is recorded (the run never failed), and a
+# background compile failure just leaves the kernel delegating to jit
+# forever.  The chain still matters on the synchronous path (cc
+# failures, compiler-less hosts, REPRO_FAULT=compile:raise) — and in
+# async mode an injected compile fault fires inside the queue worker,
+# so figures stay byte-identical while the degradation simply does not
+# need recording.
 
 #: Ordered fallback tiers per requested vector backend.
 DEGRADATION_CHAIN: dict[str, tuple[str, ...]] = {

@@ -28,14 +28,27 @@ swapped out:
   (:func:`~repro.machine.jit._bump_steady_counters`), so OPD tables
   are byte-identical to the bytes oracle.
 
+Compilation itself goes through the pipeline in
+:mod:`repro.machine.compilequeue`: every kernel is emitted as a
+uniquely named ``simdal_steady_<digest>`` function so many signatures
+can share one translation unit and one ``cc`` invocation (the sweep
+runners precompile whole campaigns this way before workers fork), and
+``REPRO_NATIVE_ASYNC=1`` moves compilation to a background thread that
+hot-swaps the machine code into the live kernel object while runs
+proceed on the jit tier.
+
 Kernels are cached at two tiers keyed on the structural signature:
 an in-process LRU of loaded ``ctypes`` functions, and the shared disk
 cache holding the ``.c`` source and ``.so`` object as sibling
 artifacts under a key versioned by package version,
 :data:`NATIVE_CODE_VERSION`, and the *compiler identity* (path plus
 ``--version`` line), so a toolchain upgrade can never resurrect a
-stale object.  A corrupted or truncated ``.so`` fails its content
-digest and the whole entry group is quarantined, never raised.
+stale object.  The compiler identity itself re-resolves whenever
+``REPRO_CC``/``CC`` change (and :func:`reset_compiler_cache` drops it
+plus any memoized cc failures), so a transient or fault-injected
+toolchain failure cannot poison later legitimate compiles.  A
+corrupted or truncated ``.so`` fails its content digest and the whole
+entry group is quarantined, never raised.
 
 Hosts without a C compiler (and ``REPRO_FAULT=compile:*`` runs) raise
 :class:`NativeUnavailable` from kernel acquisition — before any memory
@@ -66,9 +79,9 @@ from pathlib import Path
 from repro.cache import get_cache
 from repro.errors import CodegenError, MachineError
 from repro.export.cgen import CEmitter
-from repro.export.portable import PortableBackend
+from repro.export.portable import PortableBackend, kernel_unit_prelude
 from repro.faults import fault as _fault
-from repro.machine import interp, jit, npbackend
+from repro.machine import compilequeue, interp, jit, npbackend
 from repro.machine import vector as vec
 from repro.machine.jit import JitBackend
 from repro.vir.program import VProgram
@@ -86,23 +99,48 @@ from repro.vir.vexpr import (
 from repro.vir.vstmt import SetV, VStoreS
 
 #: Bump when the emitted C kernel layout or ABI changes: disk entries
-#: written by older code must never load.
-NATIVE_CODE_VERSION = 1
+#: written by older code must never load.  v2: per-signature
+#: ``simdal_steady_<digest>`` symbols (batched translation units).
+NATIVE_CODE_VERSION = 2
 
 #: Compile/cache counters (process-wide; surfaced with a ``native_``
 #: prefix by :func:`repro.machine.backend.jit_compile_stats`).
 STATS = {
-    "codegens": 0,       # C translation units emitted from scratch
-    "memory_hits": 0,    # loaded ctypes kernel reused
+    "codegens": 0,         # C kernels emitted from scratch
+    "memory_hits": 0,      # loaded ctypes kernel reused
     "memory_misses": 0,
-    "disk_hits": 0,      # .so loaded from the disk cache
+    "disk_hits": 0,        # .so loaded from the disk cache
     "disk_misses": 0,
-    "cc_s": 0.0,         # seconds inside the system compiler
-    "load_s": 0.0,       # seconds loading shared objects
+    "cc_s": 0.0,           # foreground seconds inside the system compiler
+    "load_s": 0.0,         # foreground seconds loading shared objects
+    "cc_invocations": 0,   # compiler subprocesses launched
+    "tus": 0,              # translation units fed to those invocations
+    "tu_kernels": 0,       # kernels carried by successful batches
+    "precompiled": 0,      # kernels compiled ahead by the sweep pipeline
+    "async_compiles": 0,   # jobs submitted to the background queue
+    "hot_swaps": 0,        # async kernels swapped in behind a live run
+    "async_failures": 0,   # background jobs that failed (stayed on jit)
+    "queue_depth_max": 0,  # high-water mark of the background queue
+    "async_cc_s": 0.0,     # background compiler seconds (overlap run time)
+    "async_load_s": 0.0,   # background .so load seconds
 }
 
-#: Symbol name of the appended steady-loop kernel in every native TU.
+#: Prefix of every steady-loop kernel symbol; the per-signature name
+#: comes from :func:`kernel_symbol`.
 KERNEL_SYMBOL = "simdal_steady"
+
+
+def kernel_symbol(signature: str) -> str:
+    """The exported C symbol for a signature's steady kernel.
+
+    Digest-suffixed so any set of signature kernels can coexist in one
+    shared object — the batched compile pipeline links many kernels
+    into one ``cc`` invocation.  Stable across processes (it hashes
+    the structural signature only), so a ``.so`` written by one worker
+    resolves in every other.
+    """
+    digest = hashlib.sha256(signature.encode()).hexdigest()[:16]
+    return f"{KERNEL_SYMBOL}_{digest}"
 
 
 class NativeUnavailable(MachineError):
@@ -151,6 +189,7 @@ class _NativeMeta:
     """Picklable invoke-time tables (this is what the disk cache holds)."""
 
     signature: str
+    symbol: str = ""         # simdal_steady_<digest> in the TU
     source: str = ""
     so_sha256: str = ""
     vreg_names: tuple = ()   # vregs-buffer slot order
@@ -170,6 +209,8 @@ class _NativeKernel:
     meta: _NativeMeta | None
     cfn: object | None       # ctypes function, or None to delegate to jit
     plan: object = None      # lazy per-process _InvokePlan (never pickled)
+    pending: bool = False    # queued on the async pipeline (cfn arrives
+    #                          via hot-swap; delegates to jit meanwhile)
 
     @property
     def spec(self) -> jit._KernelSpec:
@@ -300,10 +341,12 @@ class _KernelEmitter:
             else:
                 raise _CantEmit(f"no C lowering for {type(stmt).__name__}")
         V = self.V
+        symbol = kernel_symbol(self.spec.signature)
+        pad = " " * (len(symbol) + 6)
         lines = [
-            f"void {KERNEL_SYMBOL}(uint8_t *mem, int64_t lb, int64_t n,",
-            "                   const int64_t *wb, const int64_t *scal,",
-            "                   const uint8_t *cvec, uint8_t *vregs) {",
+            f"void {symbol}(uint8_t *mem, int64_t lb, int64_t n,",
+            f"{pad}const int64_t *wb, const int64_t *scal,",
+            f"{pad}const uint8_t *cvec, uint8_t *vregs) {{",
             "    (void)lb; (void)wb; (void)scal; (void)cvec; (void)vregs;",
         ]
         for k in range(len(self.names)):
@@ -326,6 +369,7 @@ class _KernelEmitter:
         lines.append("}")
         meta = _NativeMeta(
             signature=self.spec.signature,
+            symbol=symbol,
             vreg_names=tuple(self.names),
             seed_regs=tuple(self.seeds),
             out_regs=tuple(outs),
@@ -337,19 +381,34 @@ class _KernelEmitter:
         return "\n".join(lines) + "\n", meta
 
 
+def emit_kernel(program: VProgram,
+                spec: jit._KernelSpec) -> tuple[str, _NativeMeta]:
+    """Just the steady-kernel C function plus its invoke tables.
+
+    This is the unit of batching: the compile pipeline concatenates
+    many kernels (same V and dtype) behind one
+    :func:`~repro.export.portable.kernel_unit_prelude`.  Raises
+    :class:`_CantEmit` when the steady sequence cannot be lowered.
+    """
+    return _KernelEmitter(program, spec).emit()
+
+
 def emit_native_source(program: VProgram,
                        spec: jit._KernelSpec) -> tuple[str, _NativeMeta]:
-    """The full native translation unit plus its invoke tables.
+    """A standalone single-kernel translation unit plus invoke tables.
 
     The unit is the portable-C export (scalar reference + simdized
     loop, via :class:`~repro.export.cgen.CEmitter`) with the steady
     kernel appended; when the full export hits a form outside the
-    exporter's subset, the unit degrades to helpers + kernel only —
-    the kernel is what this tier executes.  Raises :class:`_CantEmit`
-    when the steady sequence itself cannot be lowered.
+    exporter's subset, the unit degrades to helpers + kernel only.
+    Compilation goes through the *batched* pipeline nowadays
+    (:func:`build_request` + :func:`compilequeue.compile_requests`);
+    this composer remains for export and diagnosis of one signature in
+    isolation.  Raises :class:`_CantEmit` when the steady sequence
+    itself cannot be lowered.
     """
     backend = PortableBackend()
-    kernel_src, meta = _KernelEmitter(program, spec).emit()
+    kernel_src, meta = emit_kernel(program, spec)
     try:
         unit = CEmitter(program, backend).translation_unit()
     except CodegenError:
@@ -364,34 +423,68 @@ def emit_native_source(program: VProgram,
     return meta.source, meta
 
 
+def build_request(signature: str, key: str, jk: jit._Kernel,
+                  program: VProgram):
+    """A :class:`~repro.machine.compilequeue.CompileRequest` for this
+    program, or None when the steady sequence cannot be lowered (the
+    caller caches a permanent jit-delegating kernel instead)."""
+    try:
+        kernel_src, meta = emit_kernel(program, jk.spec)
+    except _CantEmit:
+        return None
+    STATS["codegens"] += 1
+    dtype = program.source.dtype
+    return compilequeue.CompileRequest(
+        signature=signature,
+        key=key,
+        symbol=meta.symbol,
+        V=jk.spec.V,
+        lane=dtype.name,
+        kernel_src=kernel_src,
+        prelude=kernel_unit_prelude(jk.spec.V, dtype),
+        meta=meta,
+        jk=jk,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Compiler discovery and identity
 # ---------------------------------------------------------------------------
 
-_CC: tuple[str | None, str] | None = None   # (path-or-None, identity hash)
+#: Memoized compiler resolution: (requested env value, (path-or-None,
+#: identity hash)).  Keyed on the request so a ``REPRO_CC``/``CC``
+#: change mid-process re-resolves instead of serving the stale probe.
+_CC: tuple[str, tuple[str | None, str]] | None = None
 _WARNED = False
 
 
+def _cc_env() -> str:
+    """The requested compiler: ``REPRO_CC`` overrides the ambient
+    ``CC`` (build systems export ``CC`` for their own purposes; the
+    repro-specific knob must win)."""
+    return os.environ.get("REPRO_CC") or os.environ.get("CC") or ""
+
+
 def _compiler_identity() -> tuple[str | None, str]:
-    """(compiler executable, identity hash) — cached per process.
+    """(compiler executable, identity hash) — memoized per request.
 
     The identity hash (path + first ``--version`` line) versions every
     disk key, so objects compiled by one toolchain are invisible to
     another.
     """
     global _CC
-    if _CC is not None:
-        return _CC
-    cc = os.environ.get("CC") or ""
-    found = shutil.which(cc) if cc else None
+    env = _cc_env()
+    if _CC is not None and _CC[0] == env:
+        return _CC[1]
+    found = shutil.which(env) if env else None
     if found is None:
         for name in ("gcc", "cc", "clang"):
             found = shutil.which(name)
             if found:
                 break
     if found is None:
-        _CC = (None, "none")
-        return _CC
+        _CC = (env, (None, "none"))
+        return _CC[1]
     try:
         proc = subprocess.run([found, "--version"], capture_output=True,
                               text=True, timeout=30)
@@ -400,8 +493,22 @@ def _compiler_identity() -> tuple[str | None, str]:
     except Exception:
         banner = ""
     digest = hashlib.sha256(f"{found}\0{banner}".encode()).hexdigest()[:16]
-    _CC = (found, digest)
-    return _CC
+    _CC = (env, (found, digest))
+    return _CC[1]
+
+
+def reset_compiler_cache() -> None:
+    """Forget the memoized compiler probe and memoized cc failures.
+
+    A fault-injected or transient toolchain failure must not poison
+    later legitimate compiles in the same process: after repairing the
+    toolchain (or pointing ``REPRO_CC`` somewhere sane) call this to
+    retry cold.  The warn-once flag survives — one missing-compiler
+    warning per process is enough.
+    """
+    global _CC
+    _CC = None
+    _FAILED.clear()
 
 
 def _require_compiler() -> tuple[str, str]:
@@ -434,9 +541,9 @@ def _workdir() -> Path:
     return _WORKDIR
 
 
-def _load_so(path: Path):
-    lib = ctypes.CDLL(str(path))
-    fn = getattr(lib, KERNEL_SYMBOL)
+def _bind_symbol(lib, symbol: str):
+    """Resolve and type one steady-kernel symbol in a loaded library."""
+    fn = getattr(lib, symbol)
     fn.restype = None
     fn.argtypes = [
         ctypes.POINTER(ctypes.c_uint8),   # mem
@@ -450,6 +557,12 @@ def _load_so(path: Path):
     return fn
 
 
+def _load_so(path: Path, symbol: str):
+    # Each signature loads its own cached copy of the batched .so;
+    # dlopen dedupes repeat loads of the same path within a process.
+    return _bind_symbol(ctypes.CDLL(str(path)), symbol)
+
+
 # ---------------------------------------------------------------------------
 # Two-tier kernel cache
 # ---------------------------------------------------------------------------
@@ -457,9 +570,12 @@ def _load_so(path: Path):
 _NATIVE_CACHE: OrderedDict[str, _NativeKernel] = OrderedDict()
 _NATIVE_CACHE_MAX = 128
 
-#: Signatures whose cc invocation failed this process: retrying every
-#: run would pay a doomed subprocess per config, so the failure is
-#: memoized and re-raised cheaply (degradation stays per-run).
+#: Kernels whose cc invocation failed this process, keyed by the full
+#: *disk key* (signature + compiler identity): retrying every run would
+#: pay a doomed subprocess per config, so the failure is memoized and
+#: re-raised cheaply (degradation stays per-run).  Keying on the disk
+#: key means switching toolchains via ``REPRO_CC``/``CC`` — or
+#: :func:`reset_compiler_cache` — naturally un-poisons the signature.
 _FAILED: dict[str, str] = {}
 
 
@@ -491,7 +607,8 @@ def _load_from_disk(disk, key: str, signature: str,
     doctrine: corruption is a silent miss, never an exception).
     """
     entry = disk.get(key)
-    if not isinstance(entry, _NativeMeta) or entry.signature != signature:
+    if (not isinstance(entry, _NativeMeta) or entry.signature != signature
+            or not entry.symbol):
         return None
     so_path = disk.artifact_path(key, ".so")
     if so_path is None:
@@ -502,7 +619,7 @@ def _load_from_disk(disk, key: str, signature: str,
         if hashlib.sha256(data).hexdigest() != entry.so_sha256:
             raise OSError("shared object digest mismatch")
         start = time.perf_counter()
-        cfn = _load_so(so_path)
+        cfn = _load_so(so_path, entry.symbol)
         STATS["load_s"] += time.perf_counter() - start
     except Exception:
         disk.quarantine_artifacts(key)
@@ -510,40 +627,55 @@ def _load_from_disk(disk, key: str, signature: str,
     return _NativeKernel(jk=jk, meta=entry, cfn=cfn)
 
 
-def _compile_native(cc: str, key: str, signature: str, jk: jit._Kernel,
+def _compile_native(key: str, signature: str, jk: jit._Kernel,
                     program: VProgram, disk) -> _NativeKernel:
-    """Cold path: emit C, invoke cc, load, and persist the artifacts."""
-    try:
-        source, meta = emit_native_source(program, jk.spec)
-    except _CantEmit:
+    """Cold path: a single-request batch through the compile pipeline."""
+    request = build_request(signature, key, jk, program)
+    if request is None:
         return _NativeKernel(jk=jk, meta=None, cfn=None)
-    STATS["codegens"] += 1
-    work = _workdir()
-    stem = hashlib.sha256(key.encode()).hexdigest()[:16]
-    c_path = work / f"{stem}.c"
-    so_path = work / f"{stem}.so"
-    c_path.write_text(source)
-    start = time.perf_counter()
-    proc = subprocess.run(
-        [cc, "-O3", "-shared", "-fPIC", "-o", str(so_path), str(c_path)],
-        capture_output=True, text=True,
-    )
-    STATS["cc_s"] += time.perf_counter() - start
-    if proc.returncode != 0:
-        reason = (f"{cc} failed (exit {proc.returncode}): "
-                  f"{proc.stderr.strip()[:500]}")
-        _FAILED[signature] = reason
+    loaded, failures, cc_s, load_s = compilequeue.compile_requests(
+        [request], disk)
+    STATS["cc_s"] += cc_s
+    STATS["load_s"] += load_s
+    pair = loaded.get(signature)
+    if pair is None:
+        reason = failures.get(signature, "native compile failed")
+        _FAILED[key] = reason
         raise NativeUnavailable(reason)
-    so_bytes = so_path.read_bytes()
-    meta.so_sha256 = hashlib.sha256(so_bytes).hexdigest()
-    start = time.perf_counter()
-    cfn = _load_so(so_path)
-    STATS["load_s"] += time.perf_counter() - start
-    if disk is not None:
-        disk.put_artifact(key, ".c", source.encode())
-        disk.put_artifact(key, ".so", so_bytes)
-        disk.put(key, meta)
+    cfn, meta = pair
     return _NativeKernel(jk=jk, meta=meta, cfn=cfn)
+
+
+def _acquire_async(signature: str, jk: jit._Kernel,
+                   program: VProgram) -> _NativeKernel:
+    """Non-blocking acquisition: delegate to jit now, hot-swap later.
+
+    The foreground never launches the compiler.  A warm disk object
+    still loads synchronously (milliseconds, and it keeps warm runs on
+    machine code from the first call); anything colder caches a
+    ``pending`` placeholder that delegates to jit and queues the
+    compile on the background thread, which mutates the *same* kernel
+    object when the ``.so`` lands.  Queue failures leave the
+    placeholder delegating forever — silent by design, so async
+    first-result latency stays within a hair of plain jit.
+    """
+    cc, identity = _require_compiler()
+    key = _disk_key(signature, identity)
+    failed = _FAILED.get(key)
+    if failed is not None:
+        raise NativeUnavailable(failed)
+    disk = get_cache()
+    if disk is not None:
+        kernel = _load_from_disk(disk, key, signature, jk)
+        if kernel is not None:
+            STATS["disk_hits"] += 1
+            _cache_put(signature, kernel)
+            return kernel
+        STATS["disk_misses"] += 1
+    kernel = _NativeKernel(jk=jk, meta=None, cfn=None, pending=True)
+    _cache_put(signature, kernel)
+    compilequeue.enqueue(signature, key, jk, program, kernel)
+    return kernel
 
 
 def get_native_kernel(program: VProgram) -> _NativeKernel:
@@ -562,12 +694,17 @@ def get_native_kernel(program: VProgram) -> _NativeKernel:
         kernel = _NativeKernel(jk=jk, meta=None, cfn=None)
         _cache_put(signature, kernel)
         return kernel
-    failed = _FAILED.get(signature)
-    if failed is not None:
-        raise NativeUnavailable(failed)
+    if compilequeue.async_enabled():
+        # The injected compile fault fires inside the queue worker in
+        # async mode (the foreground compiles nothing), so the run
+        # itself never degrades — it just stays on jit.
+        return _acquire_async(signature, jk, program)
     _fault("compile")  # REPRO_FAULT=compile:… fails the cc step here
     cc, identity = _require_compiler()
     key = _disk_key(signature, identity)
+    failed = _FAILED.get(key)
+    if failed is not None:
+        raise NativeUnavailable(failed)
     disk = get_cache()
     kernel = None
     if disk is not None:
@@ -577,7 +714,7 @@ def get_native_kernel(program: VProgram) -> _NativeKernel:
         else:
             STATS["disk_misses"] += 1
     if kernel is None:
-        kernel = _compile_native(cc, key, signature, jk, program, disk)
+        kernel = _compile_native(key, signature, jk, program, disk)
     _cache_put(signature, kernel)
     return kernel
 

@@ -102,6 +102,24 @@ class PhaseProfile:
         if evictions:
             lines.append(f"  disk cache     {evictions} evictions "
                          f"(REPRO_CACHE_MAX_BYTES)")
+        invocations = self.counts.get("native_cc_invocations", 0)
+        if invocations:
+            kernels = self.counts.get("native_tu_kernels", 0)
+            tus = self.counts.get("native_tus", 0)
+            line = (f"native pipeline: {kernels} kernels in {tus} "
+                    f"translation units via {invocations} cc "
+                    f"invocation{'s' if invocations != 1 else ''}")
+            lines.append(line)
+            detail = []
+            for name, label in (("native_precompiled", "precompiled"),
+                                ("native_hot_swaps", "hot swaps"),
+                                ("native_async_compiles", "async compiles"),
+                                ("native_async_failures", "async failures"),
+                                ("native_queue_depth_max", "queue depth max")):
+                k = self.counts.get(name, 0)
+                if k:
+                    detail.append(f"  {label:<16s} {k}")
+            lines.extend(detail)
         classes = self.counts.get("batch_classes", 0)
         if classes:
             configs = self.counts.get("batch_configs", 0)

@@ -29,7 +29,7 @@ pytestmark = pytest.mark.skipif(not numpy_available(),
 
 if numpy_available():
     from repro.cache import get_cache
-    from repro.machine import jit, native
+    from repro.machine import compilequeue, jit, native
 
 HAVE_CC = numpy_available() and native._compiler_identity()[0] is not None
 needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no host C compiler")
@@ -208,7 +208,7 @@ class TestKernelCache:
         def decline(program, spec):
             raise native._CantEmit("outside the C subset")
 
-        monkeypatch.setattr(native, "emit_native_source", decline)
+        monkeypatch.setattr(native, "emit_kernel", decline)
         program = fig1_program()
         kernel = native.get_native_kernel(program)
         assert kernel.cfn is None
@@ -224,7 +224,7 @@ class TestDegradation:
         from repro import run_and_verify
 
         clean = run_and_verify(fig1_program(), backend="jit")
-        monkeypatch.setattr(native, "_CC", (None, "none"))
+        monkeypatch.setattr(native, "_CC", (native._cc_env(), (None, "none")))
         monkeypatch.setattr(native, "_WARNED", False)
         jit.clear_memory_cache()
         native.clear_memory_cache()
@@ -241,7 +241,7 @@ class TestDegradation:
     def test_missing_compiler_warns_only_once(self, monkeypatch, recwarn):
         from repro import run_and_verify
 
-        monkeypatch.setattr(native, "_CC", (None, "none"))
+        monkeypatch.setattr(native, "_CC", (native._cc_env(), (None, "none")))
         monkeypatch.setattr(native, "_WARNED", False)
         run_and_verify(fig1_program(), backend="native")
         native.clear_memory_cache()
@@ -287,7 +287,7 @@ class TestDegradation:
             return types.SimpleNamespace(returncode=1, stdout="",
                                          stderr="ICE: exploding compiler")
 
-        monkeypatch.setattr(native.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
         program = fig1_program()
         with pytest.raises(native.NativeUnavailable, match="exploding"):
             native.get_native_kernel(program)
@@ -303,7 +303,7 @@ class TestDegradation:
         def broken_cc(cmd, **kwargs):
             return types.SimpleNamespace(returncode=1, stdout="", stderr="")
 
-        monkeypatch.setattr(native.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
         report = run_and_verify(fig1_program(), backend="native")
         assert report.fallback is not None
         assert report.fallback["tier"] == "jit"
