@@ -268,12 +268,29 @@ def kernel_unit_prelude(V: int, dtype: DataType) -> str:
     lane types must land in different translation units (the typedefs
     would collide); all helpers are ``static inline`` so the resulting
     objects link together without symbol clashes.
+
+    Each signature contributes three exported functions: the steady
+    kernel ``simdal_steady_<digest>``, the whole-run driver
+    ``simdal_run_<digest>`` (prologue/epilogue sections plus the
+    steady call), and the class batch driver
+    ``simdal_steady_batch_<digest>`` whose row loop calls the run
+    driver once per config.  ``SIMDAL_NOINLINE`` marks the steady
+    kernel and run driver so ``cc -O3`` optimizes each exported body
+    exactly once instead of re-inlining the steady loop into every
+    caller — the drivers' win is fewer ctypes crossings, not inlining,
+    and duplicated inlining made batched translation units ~6x slower
+    to compile.
     """
     backend = PortableBackend()
     return (
         "/* generated by simdal: steady-kernel translation unit */\n"
         "#include <stdint.h>\n"
         "#include <string.h>\n"
+        "#if defined(__GNUC__) || defined(__clang__)\n"
+        "#define SIMDAL_NOINLINE __attribute__((noinline))\n"
+        "#else\n"
+        "#define SIMDAL_NOINLINE\n"
+        "#endif\n"
         + backend.helpers(V, dtype).rstrip()
         + "\n"
     )

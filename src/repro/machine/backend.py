@@ -296,21 +296,38 @@ class ResilientBackend:
         The primary tier's native batch is tried first; any failure
         restores every run's memory and re-executes config by config
         through :meth:`run`, so one poisoned config degrades alone
-        instead of sinking its signature class.
+        instead of sinking its signature class.  Leaving the batch
+        path is never silent: every result of a class that ran
+        config-by-config carries a structured ``batch_fallback``
+        record — whether the primary tier has no batch execution at
+        all (numpy/bytes heads) or its batched call failed — which
+        the ``--profile`` resilience section aggregates.
         """
         primary = self._chain.primary
-        native = getattr(primary, "run_batch", None)
-        if native is not None and len(self._chain.tiers) > 1:
+        tier = self._chain.tiers[0]
+        batch = getattr(primary, "run_batch", None)
+        batch_fallback: dict | None = None
+        if batch is None:
+            batch_fallback = {"tier": tier, "phase": "batch",
+                              "reason": "tier has no batch execution"}
+        elif len(self._chain.tiers) == 1:
+            return batch(runs)
+        else:
             snapshots = [mem.snapshot() for _, _, mem, _ in runs]
             try:
-                return native(runs)
-            except Exception:
+                return batch(runs)
+            except Exception as exc:
                 for (_, _, mem, _), snap in zip(runs, snapshots):
                     mem.raw()[:] = snap
-        elif native is not None:
-            return native(runs)
-        return [self.run(program, space, mem, bindings)
-                for program, space, mem, bindings in runs]
+                batch_fallback = {
+                    "tier": tier, "phase": "batch",
+                    "reason": f"{type(exc).__name__}: {exc}",
+                }
+        results = [self.run(program, space, mem, bindings)
+                   for program, space, mem, bindings in runs]
+        for result in results:
+            result.batch_fallback = batch_fallback
+        return results
 
 
 class ResilientScalarBackend:

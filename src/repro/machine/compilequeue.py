@@ -197,7 +197,7 @@ def compile_requests(requests, disk):
     for req in requests:
         req.meta.source = req.unit_source
         req.meta.so_sha256 = so_digest
-        loaded[req.signature] = (native._bind_symbol(lib, req.symbol),
+        loaded[req.signature] = (native._bind_functions(lib, req.meta),
                                  req.meta)
     load_s = time.perf_counter() - start
     if disk is not None:
@@ -280,10 +280,11 @@ def precompile(programs, profile=None) -> int:
                     native._FAILED[req.key] = failures.get(
                         req.signature, "batched native compile failed")
                     continue
-                cfn, meta = pair
+                (cfn, rfn, bcfn), meta = pair
                 native._cache_put(
                     req.signature,
-                    native._NativeKernel(jk=req.jk, meta=meta, cfn=cfn))
+                    native._NativeKernel(jk=req.jk, meta=meta, cfn=cfn,
+                                         rfn=rfn, bcfn=bcfn))
                 compiled += 1
             native.STATS["precompiled"] += compiled
     except FaultInjected:
@@ -418,11 +419,13 @@ class _CompileQueue:
                 if kernel is not None:
                     kernel.pending = False
                 continue
-            cfn, meta = pair
+            (cfn, rfn, bcfn), meta = pair
             if kernel is not None:
                 kernel.meta = meta
                 kernel.plan = None
                 kernel.pending = False
+                kernel.rfn = rfn
+                kernel.bcfn = bcfn
                 kernel.cfn = cfn  # published last: readers key off cfn
                 native.STATS["hot_swaps"] += 1
 

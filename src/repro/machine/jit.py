@@ -1468,11 +1468,12 @@ def clear_memory_cache() -> None:
 class JitBackend:
     """Compile-once execution of vector programs (bit-exact vs bytes).
 
-    The three ``_kernel_for`` / ``_steady`` / ``_steady_batch`` hooks
-    are the entire subclass surface: the native backend
-    (:mod:`repro.machine.native`) overrides them to swap the steady
-    loop for a compiled C kernel while inheriting the guard, section,
-    and trip machinery unchanged.
+    The ``_kernel_for`` / ``_steady`` / ``_steady_batch`` /
+    ``_finish_env`` / ``_batch_finish`` hooks are the entire subclass
+    surface: the native backend (:mod:`repro.machine.native`) overrides
+    them to swap the steady loop — or the whole guarded run — for a
+    compiled C kernel while inheriting the guard, section, and trip
+    machinery unchanged.
     """
 
     name = "jit"
@@ -1485,6 +1486,57 @@ class JitBackend:
 
     def _steady_batch(self, live, kernel) -> dict:
         return _run_steady_batch(live, kernel)
+
+    def _finish_env(self, env, kernel) -> bool:
+        """Preheader/prologue, steady loop, epilogue for one guarded env.
+
+        Runs everything after the guard/trip checks of :meth:`run`.
+        The native backend overrides this to execute a whole accepted
+        run as one C call (sections included) and only falls through
+        here when the run declines whole-run lowering.
+        """
+        program = env.program
+        if kernel.pre is not None:
+            kernel.pre(env)
+        else:
+            interp._exec_stmts(env, program.preheader, i=None)
+            for section in program.prologue:
+                interp._exec_section(env, section)
+        fell_back = False
+        if program.steady is not None:
+            fell_back = self._steady(env, program.steady, kernel)
+        if kernel.post is not None:
+            kernel.post(env)
+        else:
+            for section in program.epilogue:
+                interp._exec_section(env, section)
+        return fell_back
+
+    def _batch_finish(self, live, results, kernel) -> None:
+        """Sections + steady + results for the guarded (live) envs.
+
+        The batch twin of :meth:`_finish_env`: the native backend
+        overrides it to marshal every accepted env into one C batch
+        driver call, delegating declined envs back here.
+        """
+        for _, env in live:
+            if kernel.pre is not None:
+                kernel.pre(env)
+            else:
+                interp._exec_stmts(env, env.program.preheader, i=None)
+                for section in env.program.prologue:
+                    interp._exec_section(env, section)
+        fell: dict[int, bool] = {i: False for i, _ in live}
+        if live[0][1].program.steady is not None:
+            fell = self._steady_batch(live, kernel)
+        for i, env in live:
+            if kernel.post is not None:
+                kernel.post(env)
+            else:
+                for section in env.program.epilogue:
+                    interp._exec_section(env, section)
+            results[i] = VectorRunResult(env.counters, env.trip,
+                                         used_fallback=fell[i])
 
     def run(
         self,
@@ -1515,20 +1567,7 @@ class JitBackend:
             raise MachineError("compile-time trip count mismatch")
 
         kernel = self._kernel_for(program)
-        if kernel.pre is not None:
-            kernel.pre(env)
-        else:
-            interp._exec_stmts(env, program.preheader, i=None)
-            for section in program.prologue:
-                interp._exec_section(env, section)
-        fell_back = False
-        if program.steady is not None:
-            fell_back = self._steady(env, program.steady, kernel)
-        if kernel.post is not None:
-            kernel.post(env)
-        else:
-            for section in program.epilogue:
-                interp._exec_section(env, section)
+        fell_back = self._finish_env(env, kernel)
         return VectorRunResult(env.counters, env.trip, used_fallback=fell_back)
 
     def run_batch(self, runs) -> list:
@@ -1579,24 +1618,7 @@ class JitBackend:
         if not live:
             return results
         kernel = self._kernel_for(live[0][1].program)
-        for _, env in live:
-            if kernel.pre is not None:
-                kernel.pre(env)
-            else:
-                interp._exec_stmts(env, env.program.preheader, i=None)
-                for section in env.program.prologue:
-                    interp._exec_section(env, section)
-        fell: dict[int, bool] = {i: False for i, _ in live}
-        if live[0][1].program.steady is not None:
-            fell = self._steady_batch(live, kernel)
-        for i, env in live:
-            if kernel.post is not None:
-                kernel.post(env)
-            else:
-                for section in env.program.epilogue:
-                    interp._exec_section(env, section)
-            results[i] = VectorRunResult(env.counters, env.trip,
-                                         used_fallback=fell[i])
+        self._batch_finish(live, results, kernel)
         return results
 
 

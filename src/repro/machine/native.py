@@ -11,12 +11,20 @@ compiles it with the system toolchain (``cc -O3 -shared -fPIC``), loads
 the shared object via :mod:`ctypes`, and invokes it on the run's
 existing byte buffers with zero-copy pointer passing.
 
-Division of labour — native is the jit engine with the steady loop
-swapped out:
+Division of labour — native is the jit engine with the hot path
+swapped out.  Since the v3 ABI the translation unit carries three
+entry points per signature: the steady kernel, a whole-run driver
+``simdal_run_<digest>`` (prologue/epilogue vector sections lowered as
+flag-gated blocks fed by a per-run slot table), and a class driver
+``simdal_steady_batch_<digest>`` whose row loop lives inside C — so an
+accepted run is **one** ctypes crossing and a batched signature class
+is one crossing total.  The split that keeps figures exact:
 
-* prologue/epilogue sections, the guard fallback, trip resolution, and
-  all counter bookkeeping stay on the jit/interp machinery (sections
-  are a handful of V-byte ops; the steady loop is where the time is);
+* everything value-dependent — scalar registers, section conditions
+  and addressing, guard fallback, trip resolution, and all counter
+  bookkeeping — resolves in Python (for whole-run calls on a shadow
+  env *before* the C call; anything outside the lowered surface bails
+  to the classic per-piece path from untouched state);
 * the per-run window/collision analysis is jit's own
   :func:`~repro.machine.jit._window_bases`, reused verbatim so native
   batches and falls back on **exactly** the same runs (the
@@ -83,6 +91,16 @@ from repro.export.portable import PortableBackend, kernel_unit_prelude
 from repro.faults import fault as _fault
 from repro.machine import compilequeue, interp, jit, npbackend
 from repro.machine import vector as vec
+from repro.machine.counters import (
+    BRANCH,
+    VARITH,
+    VCOPY,
+    VLOAD,
+    VPERM,
+    VSEL,
+    VSPLAT,
+    VSTORE,
+)
 from repro.machine.jit import JitBackend
 from repro.vir.program import VProgram
 from repro.vir.vexpr import (
@@ -96,12 +114,14 @@ from repro.vir.vexpr import (
     VSpliceE,
     VSplatE,
 )
-from repro.vir.vstmt import SetV, VStoreS
+from repro.vir.vstmt import SetS, SetV, VStoreS
 
 #: Bump when the emitted C kernel layout or ABI changes: disk entries
 #: written by older code must never load.  v2: per-signature
 #: ``simdal_steady_<digest>`` symbols (batched translation units).
-NATIVE_CODE_VERSION = 2
+#: v3: whole-run ``simdal_run_<digest>`` (lowered prologue/epilogue
+#: sections) and the class batch driver ``simdal_steady_batch_<digest>``.
+NATIVE_CODE_VERSION = 3
 
 #: Compile/cache counters (process-wide; surfaced with a ``native_``
 #: prefix by :func:`repro.machine.backend.jit_compile_stats`).
@@ -123,11 +143,18 @@ STATS = {
     "queue_depth_max": 0,  # high-water mark of the background queue
     "async_cc_s": 0.0,     # background compiler seconds (overlap run time)
     "async_load_s": 0.0,   # background .so load seconds
+    "whole_runs": 0,       # accepted runs executed as one C call end-to-end
+    "batch_calls": 0,      # class batch-driver invocations (one per class)
+    "batch_rows": 0,       # runs carried by those batch-driver calls
 }
 
 #: Prefix of every steady-loop kernel symbol; the per-signature name
 #: comes from :func:`kernel_symbol`.
 KERNEL_SYMBOL = "simdal_steady"
+
+
+def _sig_digest(signature: str) -> str:
+    return hashlib.sha256(signature.encode()).hexdigest()[:16]
 
 
 def kernel_symbol(signature: str) -> str:
@@ -139,8 +166,17 @@ def kernel_symbol(signature: str) -> str:
     the structural signature only), so a ``.so`` written by one worker
     resolves in every other.
     """
-    digest = hashlib.sha256(signature.encode()).hexdigest()[:16]
-    return f"{KERNEL_SYMBOL}_{digest}"
+    return f"{KERNEL_SYMBOL}_{_sig_digest(signature)}"
+
+
+def run_symbol(signature: str) -> str:
+    """The whole-run driver symbol: sections + guarded steady call."""
+    return f"simdal_run_{_sig_digest(signature)}"
+
+
+def batch_symbol(signature: str) -> str:
+    """The class batch-driver symbol: the row loop over whole runs."""
+    return f"simdal_steady_batch_{_sig_digest(signature)}"
 
 
 class NativeUnavailable(MachineError):
@@ -183,6 +219,36 @@ class _CantEmit(Exception):
 # time — exactly the interpreter's semantics — so loop-carried reads
 # and reductions need no special lowering, and every run accepted by
 # _window_bases produces the same bytes the batched jit kernel does.
+#
+# Since NATIVE_CODE_VERSION 3 every kernel ships two more functions in
+# the same translation unit:
+#
+#   void simdal_run(uint8_t *mem, int64_t lb, int64_t n,
+#                   const int64_t *wb, const int64_t *scal,
+#                   const uint8_t *cvec, uint8_t *vregs,
+#                   const int64_t *sect)
+#
+# the whole-run driver — the lowered prologue section blocks, the
+# steady kernel call (guarded by n > 0), then the lowered epilogue
+# blocks.  ``sect`` is the per-run section table: one flag slot per
+# section (0 = the marshaller resolved its condition false, skip the
+# block) followed by the section's value slots — precomputed truncated
+# load/store base addresses, splat lane values, iota counters, runtime
+# shift/splice amounts — in the emitter's traversal order.  Everything
+# value-dependent (scalar registers, conditions, addressing, bounds
+# checks) is resolved at marshal time on a shadow env, so the C side
+# is pure straight-line vector code over mem/vregs.  And:
+#
+#   void simdal_steady_batch(uint8_t *mem, int64_t rows,
+#                            const int64_t *lbn, const int64_t *wb,
+#                            const int64_t *scal, const uint8_t *cvec,
+#                            uint8_t *vregs, const int64_t *sect)
+#
+# the class batch driver: ``mem`` is the flat concatenation of every
+# run's memory image and ``lbn`` holds (mem offset, lb, n) per row;
+# the row loop lives inside C and calls simdal_run once per row with
+# that row's slice of the wb/scal/cvec/vregs/sect tables (compile-time
+# row strides), so a whole signature class costs ONE ctypes crossing.
 
 @dataclass
 class _NativeMeta:
@@ -199,6 +265,11 @@ class _NativeMeta:
     points: tuple = ()       # runtime vsplice SExprs, after shifts
     splats: tuple = ()       # (operand SExpr, dtype) per cvec block
     bad_amounts: tuple = ()  # (what, value) compile-time out-of-range
+    run_symbol: str = ""     # simdal_run_<digest> (whole-run driver)
+    batch_symbol: str = ""   # simdal_steady_batch_<digest> (row loop)
+    sections_c: bool = False  # prologue/epilogue lowered into simdal_run
+    sect_len: int = 0        # per-run sect[] table length
+    sect_spans: tuple = ()   # (base, count) per section, prologue first
 
 
 @dataclass
@@ -207,7 +278,9 @@ class _NativeKernel:
 
     jk: jit._Kernel
     meta: _NativeMeta | None
-    cfn: object | None       # ctypes function, or None to delegate to jit
+    cfn: object | None       # ctypes steady fn, or None to delegate to jit
+    rfn: object = None       # ctypes whole-run driver (simdal_run)
+    bcfn: object = None      # ctypes class batch driver (simdal_steady_batch)
     plan: object = None      # lazy per-process _InvokePlan (never pickled)
     pending: bool = False    # queued on the async pipeline (cfn arrives
     #                          via hot-swap; delegates to jit meanwhile)
@@ -246,6 +319,7 @@ class _KernelEmitter:
         self._splat_idx: dict = {}
         self.bad_amounts: list = []
         self.assign_pos: dict[str, int] = {}
+        self._sect_cursor = 0
 
     def slot(self, reg: str) -> int:
         idx = self._slot.get(reg)
@@ -319,6 +393,154 @@ class _KernelEmitter:
             return f"simdal_op_{expr.op.name}({a}, {b})"
         raise _CantEmit(f"no C lowering for {type(expr).__name__}")
 
+    # -- prologue/epilogue section lowering (whole-run surface) ---------
+    #
+    # Sections are straight-line SetS/SetV/VStoreS blocks guarded by a
+    # scalar condition and addressed by a scalar i-expression.  All
+    # scalar work stays in the Python marshaller (it never reads vector
+    # state, so the split is exact); the C side receives precomputed
+    # values through per-section sect[] slots, allocated here in the
+    # SAME traversal order the marshaller walks at run time.
+
+    def _sect_slot(self) -> str:
+        idx = self._sect_cursor
+        self._sect_cursor += 1
+        return f"sect[{idx}]"
+
+    def _sect_vexpr(self, expr: VExpr) -> str:
+        if isinstance(expr, VLoadE):
+            # The marshaller slots the truncated, bounds-checked base.
+            return f"simdal_load(mem + {self._sect_slot()})"
+        if isinstance(expr, VRegE):
+            return f"simdal_load(vregs + {self.slot(expr.name) * self.V})"
+        if isinstance(expr, VShiftPairE):
+            a = self._sect_vexpr(expr.a)
+            b = self._sect_vexpr(expr.b)
+            if isinstance(expr.shift, int):
+                if not 0 <= expr.shift <= self.V:
+                    raise _CantEmit("section shift outside [0, V]")
+                s = str(expr.shift)
+            else:
+                s = self._sect_slot()
+            return f"simdal_shiftpair({a}, {b}, {s})"
+        if isinstance(expr, VSpliceE):
+            a = self._sect_vexpr(expr.a)
+            b = self._sect_vexpr(expr.b)
+            if isinstance(expr.point, int):
+                if not 0 <= expr.point <= self.V:
+                    raise _CantEmit("section point outside [0, V]")
+                p = str(expr.point)
+            else:
+                p = self._sect_slot()
+            return f"simdal_splice({a}, {b}, {p})"
+        if isinstance(expr, VSplatE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("splat dtype differs from the loop dtype")
+            return f"simdal_splat({self._sect_slot()})"
+        if isinstance(expr, VIotaE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("iota dtype differs from the loop dtype")
+            return f"simdal_iota({self._sect_slot()})"
+        if isinstance(expr, VBinE):
+            if expr.dtype != self.dtype:
+                raise _CantEmit("binop dtype differs from the loop dtype")
+            a = self._sect_vexpr(expr.a)
+            b = self._sect_vexpr(expr.b)
+            return f"simdal_op_{expr.op.name}({a}, {b})"
+        raise _CantEmit(f"no C lowering for {type(expr).__name__}")
+
+    def _sect_stmts(self, stmts) -> list[str]:
+        lines: list[str] = []
+        V = self.V
+        for stmt in stmts:
+            if isinstance(stmt, SetS):
+                continue  # scalar registers live in the marshaller only
+            if isinstance(stmt, SetV):
+                if stmt.is_copy:
+                    src = (f"simdal_load(vregs + "
+                           f"{self.slot(stmt.expr.name) * V})")
+                else:
+                    src = self._sect_vexpr(stmt.expr)
+                lines.append(f"        simdal_store(vregs + "
+                             f"{self.slot(stmt.reg) * V}, {src});")
+            elif isinstance(stmt, VStoreS):
+                text = self._sect_vexpr(stmt.src)
+                lines.append(
+                    f"        simdal_store(mem + {self._sect_slot()}, {text});"
+                )
+            else:
+                raise _CantEmit(f"no C lowering for {type(stmt).__name__}")
+        return lines
+
+    def _sect_block(self, section, spans: list) -> list[str]:
+        base = self._sect_cursor
+        flag = self._sect_slot()
+        body = self._sect_stmts(section.stmts)
+        spans.append((base, self._sect_cursor - base))
+        return [f"    if ({flag}) {{"] + body + ["    }"]
+
+    def _emit_sections(self):
+        """(prologue blocks, epilogue blocks, spans, lowered?).
+
+        All-or-nothing: any form outside the subset declines section
+        lowering for the whole signature — the run driver degrades to
+        a guarded steady call and sections stay on the jit/interp path.
+        """
+        self._sect_cursor = 0
+        spans: list = []
+        try:
+            pro = [self._sect_block(s, spans) for s in self.program.prologue]
+            epi = [self._sect_block(s, spans) for s in self.program.epilogue]
+        except _CantEmit:
+            self._sect_cursor = 0
+            return [], [], (), False
+        return pro, epi, tuple(spans), True
+
+    def _emit_run(self, pro_blocks, epi_blocks) -> list[str]:
+        symbol = run_symbol(self.spec.signature)
+        steady_sym = kernel_symbol(self.spec.signature)
+        pad = " " * (len(symbol) + 6)
+        lines = [
+            f"SIMDAL_NOINLINE",
+            f"void {symbol}(uint8_t *mem, int64_t lb, int64_t n,",
+            f"{pad}const int64_t *wb, const int64_t *scal,",
+            f"{pad}const uint8_t *cvec, uint8_t *vregs,",
+            f"{pad}const int64_t *sect) {{",
+            "    (void)sect;",
+        ]
+        for block in pro_blocks:
+            lines.extend(block)
+        lines.append(
+            f"    if (n > 0) {steady_sym}(mem, lb, n, wb, scal, cvec, vregs);"
+        )
+        for block in epi_blocks:
+            lines.extend(block)
+        lines.append("}")
+        return lines
+
+    def _emit_batch(self, sect_len: int) -> list[str]:
+        symbol = batch_symbol(self.spec.signature)
+        rsym = run_symbol(self.spec.signature)
+        V = self.V
+        nw = len(self.spec.win_keys)
+        ns = len(self.shifts) + len(self.points)
+        nc = len(self.splats) * V
+        nv = len(self.names) * V
+        pad = " " * (len(symbol) + 6)
+        return [
+            f"void {symbol}(uint8_t *mem, int64_t rows, const int64_t *lbn,",
+            f"{pad}const int64_t *wb, const int64_t *scal,",
+            f"{pad}const uint8_t *cvec, uint8_t *vregs,",
+            f"{pad}const int64_t *sect) {{",
+            "    for (int64_t r = 0; r < rows; r++) {",
+            f"        {rsym}(mem + lbn[3 * r], lbn[3 * r + 1], "
+            f"lbn[3 * r + 2],",
+            f"            wb + r * {nw}, scal + r * {ns}, cvec + r * {nc},",
+            f"            vregs + r * {nv}, sect + r * {sect_len});",
+            "    }",
+            "}",
+        ]
+
     def emit(self) -> tuple[str, _NativeMeta]:
         steady = self.program.steady
         seq = list(steady.body) + list(steady.bottom)
@@ -344,6 +566,7 @@ class _KernelEmitter:
         symbol = kernel_symbol(self.spec.signature)
         pad = " " * (len(symbol) + 6)
         lines = [
+            f"SIMDAL_NOINLINE",
             f"void {symbol}(uint8_t *mem, int64_t lb, int64_t n,",
             f"{pad}const int64_t *wb, const int64_t *scal,",
             f"{pad}const uint8_t *cvec, uint8_t *vregs) {{",
@@ -367,6 +590,15 @@ class _KernelEmitter:
                 f"v{self.slot(name)});"
             )
         lines.append("}")
+        # The whole-run and batch drivers follow the steady kernel in
+        # the same unit (definition-before-use, non-static so other
+        # translation units never collide on the digest-unique names).
+        pro_blocks, epi_blocks, spans, sections_c = self._emit_sections()
+        sect_len = self._sect_cursor if sections_c else 0
+        lines.append("")
+        lines.extend(self._emit_run(pro_blocks, epi_blocks))
+        lines.append("")
+        lines.extend(self._emit_batch(sect_len))
         meta = _NativeMeta(
             signature=self.spec.signature,
             symbol=symbol,
@@ -377,6 +609,11 @@ class _KernelEmitter:
             points=tuple(self.points),
             splats=tuple(self.splats),
             bad_amounts=tuple(self.bad_amounts),
+            run_symbol=run_symbol(self.spec.signature),
+            batch_symbol=batch_symbol(self.spec.signature),
+            sections_c=sections_c,
+            sect_len=sect_len,
+            sect_spans=spans,
         )
         return "\n".join(lines) + "\n", meta
 
@@ -557,10 +794,40 @@ def _bind_symbol(lib, symbol: str):
     return fn
 
 
-def _load_so(path: Path, symbol: str):
+def _bind_functions(lib, meta: _NativeMeta):
+    """Resolve (steady, whole-run, batch) for one signature's kernel."""
+    cfn = _bind_symbol(lib, meta.symbol)
+    rfn = getattr(lib, meta.run_symbol)
+    rfn.restype = None
+    rfn.argtypes = [
+        ctypes.POINTER(ctypes.c_uint8),   # mem
+        ctypes.c_int64,                   # lb
+        ctypes.c_int64,                   # n
+        ctypes.POINTER(ctypes.c_int64),   # wb
+        ctypes.POINTER(ctypes.c_int64),   # scal
+        ctypes.POINTER(ctypes.c_uint8),   # cvec
+        ctypes.POINTER(ctypes.c_uint8),   # vregs
+        ctypes.POINTER(ctypes.c_int64),   # sect
+    ]
+    bcfn = getattr(lib, meta.batch_symbol)
+    bcfn.restype = None
+    bcfn.argtypes = [
+        ctypes.POINTER(ctypes.c_uint8),   # mem (flat concatenation)
+        ctypes.c_int64,                   # rows
+        ctypes.POINTER(ctypes.c_int64),   # lbn (mem offset, lb, n) per row
+        ctypes.POINTER(ctypes.c_int64),   # wb rows
+        ctypes.POINTER(ctypes.c_int64),   # scal rows
+        ctypes.POINTER(ctypes.c_uint8),   # cvec rows
+        ctypes.POINTER(ctypes.c_uint8),   # vregs rows
+        ctypes.POINTER(ctypes.c_int64),   # sect rows
+    ]
+    return cfn, rfn, bcfn
+
+
+def _load_so(path: Path, meta: _NativeMeta):
     # Each signature loads its own cached copy of the batched .so;
     # dlopen dedupes repeat loads of the same path within a process.
-    return _bind_symbol(ctypes.CDLL(str(path)), symbol)
+    return _bind_functions(ctypes.CDLL(str(path)), meta)
 
 
 # ---------------------------------------------------------------------------
@@ -608,7 +875,8 @@ def _load_from_disk(disk, key: str, signature: str,
     """
     entry = disk.get(key)
     if (not isinstance(entry, _NativeMeta) or entry.signature != signature
-            or not entry.symbol):
+            or not entry.symbol or not entry.run_symbol
+            or not entry.batch_symbol):
         return None
     so_path = disk.artifact_path(key, ".so")
     if so_path is None:
@@ -619,12 +887,12 @@ def _load_from_disk(disk, key: str, signature: str,
         if hashlib.sha256(data).hexdigest() != entry.so_sha256:
             raise OSError("shared object digest mismatch")
         start = time.perf_counter()
-        cfn = _load_so(so_path, entry.symbol)
+        cfn, rfn, bcfn = _load_so(so_path, entry)
         STATS["load_s"] += time.perf_counter() - start
     except Exception:
         disk.quarantine_artifacts(key)
         return None
-    return _NativeKernel(jk=jk, meta=entry, cfn=cfn)
+    return _NativeKernel(jk=jk, meta=entry, cfn=cfn, rfn=rfn, bcfn=bcfn)
 
 
 def _compile_native(key: str, signature: str, jk: jit._Kernel,
@@ -642,8 +910,8 @@ def _compile_native(key: str, signature: str, jk: jit._Kernel,
         reason = failures.get(signature, "native compile failed")
         _FAILED[key] = reason
         raise NativeUnavailable(reason)
-    cfn, meta = pair
-    return _NativeKernel(jk=jk, meta=meta, cfn=cfn)
+    (cfn, rfn, bcfn), meta = pair
+    return _NativeKernel(jk=jk, meta=meta, cfn=cfn, rfn=rfn, bcfn=bcfn)
 
 
 def _acquire_async(signature: str, jk: jit._Kernel,
@@ -765,43 +1033,62 @@ class _InvokePlan:
     hot or cold.  Keyed weakly so retired spaces don't pin entries.
     """
 
-    __slots__ = ("seed_offsets", "out_offsets", "vregs_len",
-                 "splats_dyn", "c_cvec_const", "wb_memo")
+    __slots__ = ("seed_offsets", "out_offsets", "all_offsets", "vregs_len",
+                 "splats_dyn", "c_cvec_const", "cvec_const", "wb_memo",
+                 "nw", "ns", "nc", "nv_stride", "nsect")
 
-    def __init__(self, meta: _NativeMeta, V: int):
+    def __init__(self, meta: _NativeMeta, spec: jit._KernelSpec):
+        V = spec.V
         self.wb_memo = weakref.WeakKeyDictionary()
         slots = {name: k for k, name in enumerate(meta.vreg_names)}
         self.seed_offsets = tuple((name, slots[name] * V)
                                   for name in meta.seed_regs)
         self.out_offsets = tuple((name, slots[name] * V)
                                  for name in meta.out_regs)
+        self.all_offsets = {name: k * V for name, k in slots.items()}
         self.vregs_len = max(1, len(meta.vreg_names) * V)
+        # Batch-row table strides (must match the compile-time strides
+        # baked into simdal_steady_batch).
+        self.nw = len(spec.win_keys)
+        self.ns = len(meta.shifts) + len(meta.points)
+        self.nc = len(meta.splats) * V
+        self.nv_stride = len(meta.vreg_names) * V
+        self.nsect = meta.sect_len
         if all(isinstance(operand, SConst) for operand, _ in meta.splats):
             consts = bytearray()
             for operand, dtype in meta.splats:
                 consts += vec.vsplat(dtype.wrap(operand.value), dtype, V)
-            if not consts:
-                consts = bytearray(1)
+            self.cvec_const = bytes(consts)
             self.splats_dyn = None
-            self.c_cvec_const = _u8_array(len(consts))(*consts)
+            padded = consts if consts else bytearray(1)
+            self.c_cvec_const = _u8_array(len(padded))(*padded)
         else:
             self.splats_dyn = meta.splats
+            self.cvec_const = None
             self.c_cvec_const = None
 
 
-def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
-    """One C steady-loop call; every check precedes every mutation.
+def _plan_for(kernel: _NativeKernel) -> _InvokePlan:
+    plan = kernel.plan
+    if plan is None:
+        plan = kernel.plan = _InvokePlan(kernel.meta, kernel.jk.spec)
+    return plan
 
-    Raises :class:`jit._Unbatchable` (window analysis) or
-    :class:`MachineError` (range checks, unset registers) exactly where
-    the jit kernel's prelude would, so the fallback surface is shared.
+
+def _steady_tables(kernel: _NativeKernel, env, lb: int, n: int):
+    """Validated steady-call tables ``(wb, scal, cvec bytes)`` for one run.
+
+    Pure reads: raises :class:`jit._Unbatchable` (window analysis,
+    memoized per space) or :class:`MachineError` (range checks) before
+    anything is mutated, from the same pre-mutation points the jit
+    kernel prelude uses, so every tier accepts and rejects exactly the
+    same runs.  Shared by the per-run invoke, the whole-run marshaller,
+    and the class batch driver.
     """
     spec = kernel.jk.spec
     meta = kernel.meta
     V = spec.V
-    plan = kernel.plan
-    if plan is None:
-        plan = kernel.plan = _InvokePlan(meta, V)
+    plan = _plan_for(kernel)
     per_space = plan.wb_memo.get(env.space)
     if per_space is None:
         per_space = plan.wb_memo[env.space] = {}
@@ -823,15 +1110,32 @@ def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
                for expr in meta.shifts]
     amounts += [jit._checked_amount(env, expr, V, "vsplice point")
                 for expr in meta.points]
-    if plan.c_cvec_const is not None:
-        c_cvec = plan.c_cvec_const
+    if plan.cvec_const is not None:
+        cvec = plan.cvec_const
     else:
         consts = bytearray()
         for operand, dtype in plan.splats_dyn:
             value = npbackend._peek_s(env, operand)
             consts += vec.vsplat(dtype.wrap(value), dtype, V)
-        if not consts:
-            consts = bytearray(1)
+        cvec = bytes(consts)
+    return bases, amounts, cvec
+
+
+def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
+    """One C steady-loop call; every check precedes every mutation.
+
+    Raises :class:`jit._Unbatchable` (window analysis) or
+    :class:`MachineError` (range checks, unset registers) exactly where
+    the jit kernel's prelude would, so the fallback surface is shared.
+    """
+    spec = kernel.jk.spec
+    V = spec.V
+    plan = _plan_for(kernel)
+    bases, amounts, cvec = _steady_tables(kernel, env, lb, n)
+    if plan.c_cvec_const is not None:
+        c_cvec = plan.c_cvec_const
+    else:
+        consts = bytearray(cvec) if cvec else bytearray(1)
         c_cvec = _u8_array(len(consts)).from_buffer(consts)
     vregs = bytearray(plan.vregs_len)
     for name, offset in plan.seed_offsets:
@@ -882,6 +1186,342 @@ def _run_steady_native(env: interp._Env, steady,
 
 
 # ---------------------------------------------------------------------------
+# Whole-run marshalling (sections + steady as one C call)
+# ---------------------------------------------------------------------------
+#
+# The marshaller resolves everything value-dependent — scalar
+# registers, section conditions, addressing, bounds and range checks,
+# counter bookkeeping — on a SHADOW env (same program/space/memory/
+# bindings, fresh register files and counters), walking the program in
+# the interpreter's exact order and collecting the sect[]/wb/scal/cvec
+# tables the C drivers consume.  Nothing outside the shadow mutates
+# until the C call returns (preheader statements cannot touch memory:
+# loads/stores need a loop counter and raise first), so any _Bail —
+# an unlowered form, a failed check, a condition the emitter could not
+# know — simply discards the shadow and replays the classic jit path
+# from pristine state, reproducing byte-exact error and fallback
+# semantics.  On success the shadow's counters/registers merge into
+# the real env plus the analytic steady bumps, so OPD tables stay
+# bit-identical to the bytes oracle.
+
+class _Bail(Exception):
+    """This run falls outside the whole-run C surface (classic replay)."""
+
+
+_I64_MASK = (1 << 64) - 1
+_I64_SIGN = 1 << 63
+
+
+def _as_i64(value: int) -> int:
+    """Two's-complement fold into ctypes' int64 range.
+
+    Slot values ride an int64 table; the C side casts back to the
+    unsigned lane type, so only the low 64 bits matter.
+    """
+    return ((value & _I64_MASK) ^ _I64_SIGN) - _I64_SIGN
+
+
+class _Row:
+    """One marshalled run: the per-row tables a C driver call consumes."""
+
+    __slots__ = ("shadow", "lb", "n", "wb", "scal", "cvec", "sect",
+                 "vregs", "written")
+
+    def __init__(self, shadow, lb, n, wb, scal, cvec, sect, vregs, written):
+        self.shadow = shadow     # the marshal-time env (None: steady-only)
+        self.lb = lb
+        self.n = n
+        self.wb = wb             # window bases, run-relative
+        self.scal = scal         # checked runtime shift/point amounts
+        self.cvec = cvec         # splat constants, bytes
+        self.sect = sect         # section flag + value slots
+        self.vregs = vregs       # seeded register buffer (stride-exact)
+        self.written = written   # registers C writes that commit reads back
+
+
+def _store_base(shadow: interp._Env, addr, i0, V: int) -> int:
+    """The truncated, bounds-checked base a section load/store touches."""
+    if i0 is None:
+        raise _Bail  # interp raises MachineError here; classic replays it
+    a = shadow.space[addr.array].addr(i0 + addr.elem)
+    base = a - a % V
+    if base < 0 or base + V > shadow.mem.size:
+        raise _Bail
+    return base
+
+
+def _marshal_vexpr(shadow: interp._Env, expr, i0, vals: list,
+                   defined: set, V: int) -> None:
+    """Mirror interp._eval_v's counter bumps; slot values in emit order."""
+    if isinstance(expr, VLoadE):
+        shadow.counters.bump(VLOAD)
+        vals.append(_store_base(shadow, expr.addr, i0, V))
+        return
+    if isinstance(expr, VRegE):
+        if expr.name not in defined:
+            raise _Bail  # read-before-set: classic replay raises it
+        return
+    if isinstance(expr, VShiftPairE):
+        _marshal_vexpr(shadow, expr.a, i0, vals, defined, V)
+        _marshal_vexpr(shadow, expr.b, i0, vals, defined, V)
+        shift = expr.shift
+        if not isinstance(shift, int):
+            shift = interp._eval_s(shadow, shift)
+            if not 0 <= shift <= V:
+                raise _Bail
+            vals.append(shift)
+        elif not 0 <= shift <= V:
+            raise _Bail
+        shadow.counters.bump(VPERM)
+        return
+    if isinstance(expr, VSpliceE):
+        _marshal_vexpr(shadow, expr.a, i0, vals, defined, V)
+        _marshal_vexpr(shadow, expr.b, i0, vals, defined, V)
+        point = expr.point
+        if not isinstance(point, int):
+            point = interp._eval_s(shadow, point)
+            if not 0 <= point <= V:
+                raise _Bail
+            vals.append(point)
+        elif not 0 <= point <= V:
+            raise _Bail
+        shadow.counters.bump(VSEL)
+        return
+    if isinstance(expr, VSplatE):
+        value = interp._eval_s(shadow, expr.operand)
+        shadow.counters.bump(VSPLAT)
+        vals.append(_as_i64(expr.dtype.wrap(value)))
+        return
+    if isinstance(expr, VBinE):
+        _marshal_vexpr(shadow, expr.a, i0, vals, defined, V)
+        _marshal_vexpr(shadow, expr.b, i0, vals, defined, V)
+        shadow.counters.bump(VARITH)
+        return
+    if isinstance(expr, VIotaE):
+        if i0 is None:
+            raise _Bail
+        shadow.counters.bump(VARITH)
+        vals.append(_as_i64(i0 + expr.bias))
+        return
+    raise _Bail
+
+
+def _marshal_stmts(shadow: interp._Env, stmts, i0, vals: list, defined: set,
+                   written: list, written_set: set, V: int) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, SetS):
+            shadow.sregs[stmt.reg] = interp._eval_s(shadow, stmt.expr)
+        elif isinstance(stmt, SetV):
+            if stmt.is_copy:
+                shadow.counters.bump(VCOPY)
+                if stmt.expr.name not in defined:
+                    raise _Bail
+            else:
+                _marshal_vexpr(shadow, stmt.expr, i0, vals, defined, V)
+            defined.add(stmt.reg)
+            if stmt.reg not in written_set:
+                written_set.add(stmt.reg)
+                written.append(stmt.reg)
+        elif isinstance(stmt, VStoreS):
+            # interp order: src evaluates (and bumps) before the store
+            # counter and address — slots land in the same order.
+            _marshal_vexpr(shadow, stmt.src, i0, vals, defined, V)
+            shadow.counters.bump(VSTORE)
+            vals.append(_store_base(shadow, stmt.addr, i0, V))
+        else:
+            raise _Bail
+
+
+def _marshal_section(shadow: interp._Env, section, sect: list, span,
+                     defined: set, written: list, written_set: set,
+                     V: int) -> None:
+    base, count = span
+    if section.cond is not None:
+        shadow.counters.bump(BRANCH)
+        if not interp._eval_s(shadow, section.cond):
+            return  # flag slot stays 0: C skips the block
+    i0 = (interp._eval_s(shadow, section.i_expr)
+          if section.i_expr is not None else None)
+    vals: list = []
+    _marshal_stmts(shadow, section.stmts, i0, vals, defined, written,
+                   written_set, V)
+    if len(vals) + 1 != count:
+        raise _Bail  # defensive: emitter/marshaller slot drift
+    sect[base] = 1
+    sect[base + 1:base + count] = vals
+
+
+def _marshal_run(kernel: _NativeKernel, env: interp._Env) -> _Row:
+    """Marshal one guarded env into a whole-run row, mutating nothing.
+
+    Raises :class:`_Bail` when any part of the run falls outside the
+    lowered surface; the caller replays the classic path on the still
+    untouched env.
+    """
+    program = env.program
+    meta = kernel.meta
+    plan = _plan_for(kernel)
+    V = kernel.jk.spec.V
+    shadow = interp._Env(program, env.space, env.mem, env.bindings, None)
+    try:
+        # Memory-safe on the shared mem: preheader loads/stores need a
+        # loop counter and raise inside interp before touching bytes.
+        interp._exec_stmts(shadow, program.preheader, i=None)
+    except MachineError:
+        raise _Bail from None
+    defined = set(shadow.vregs)
+    written: list = []
+    written_set: set = set()
+    sect = [0] * plan.nsect
+    spans = meta.sect_spans
+    n_pro = len(program.prologue)
+    if len(spans) != n_pro + len(program.epilogue):
+        raise _Bail  # defensive: meta shape drift
+    for section, span in zip(program.prologue, spans[:n_pro]):
+        _marshal_section(shadow, section, sect, span, defined, written,
+                         written_set, V)
+    steady = program.steady
+    lb = n = 0
+    wb: list = [0] * plan.nw
+    scal: list = [0] * plan.ns
+    cvec: bytes = b"\x00" * plan.nc
+    if steady is not None:
+        lb = interp._eval_s(shadow, steady.lb)
+        ub = interp._eval_s(shadow, steady.ub)
+        if steady.step <= 0:
+            raise _Bail
+        n = len(range(lb, ub, steady.step))
+        if n > 0:
+            for name in meta.seed_regs:
+                if name not in defined:
+                    raise _Bail
+            try:
+                wb, scal, cvec = _steady_tables(kernel, shadow, lb, n)
+            except (jit._Unbatchable, MachineError):
+                raise _Bail from None
+            wb = list(wb)  # the memoized base list must never be shared
+            for name in meta.out_regs:
+                defined.add(name)
+                if name not in written_set:
+                    written_set.add(name)
+                    written.append(name)
+    for section, span in zip(program.epilogue, spans[n_pro:]):
+        _marshal_section(shadow, section, sect, span, defined, written,
+                         written_set, V)
+    offsets = plan.all_offsets
+    for name in written:
+        if name not in offsets:
+            raise _Bail  # defensive: register without a vregs slot
+    vregs = bytearray(plan.nv_stride)
+    for name, value in shadow.vregs.items():
+        offset = offsets.get(name)
+        if offset is not None:
+            vregs[offset:offset + V] = value
+    return _Row(shadow, lb, n, wb, scal, cvec, sect, vregs, tuple(written))
+
+
+def _commit_run(kernel: _NativeKernel, env: interp._Env, row: _Row) -> None:
+    """Fold a completed whole-run C call back into the real env."""
+    spec = kernel.jk.spec
+    V = spec.V
+    shadow = row.shadow
+    env.counters.merge(shadow.counters)
+    if row.n > 0:
+        jit._bump_steady_counters(env, spec, row.n)
+    env.sregs.update(shadow.sregs)
+    env.vregs.update(shadow.vregs)
+    offsets = kernel.plan.all_offsets
+    for name in row.written:
+        offset = offsets[name]
+        env.vregs[name] = bytes(row.vregs[offset:offset + V])
+
+
+def _call_run(kernel: _NativeKernel, env: interp._Env, row: _Row) -> None:
+    """The ctypes whole-run call + commit for one marshalled row."""
+    mem_buf = env.mem.raw()
+    c_mem = _u8_array(len(mem_buf)).from_buffer(mem_buf)
+    vregs = row.vregs if row.vregs else bytearray(1)
+    c_vregs = _u8_array(len(vregs)).from_buffer(vregs)
+    cvec = bytearray(row.cvec) if row.cvec else bytearray(1)
+    c_cvec = _u8_array(len(cvec)).from_buffer(cvec)
+    c_wb = _i64_array(max(1, len(row.wb)))(*row.wb)
+    c_scal = _i64_array(max(1, len(row.scal)))(*row.scal)
+    c_sect = _i64_array(max(1, len(row.sect)))(*row.sect)
+    try:
+        kernel.rfn(c_mem, row.lb, row.n, c_wb, c_scal, c_cvec, c_vregs,
+                   c_sect)
+    finally:
+        del c_mem, c_vregs, c_cvec
+    _commit_run(kernel, env, row)
+
+
+def _invoke_run(kernel: _NativeKernel, env: interp._Env) -> bool:
+    """Execute one whole run as a single C call; False = marshal bailed."""
+    try:
+        row = _marshal_run(kernel, env)
+    except _Bail:
+        return False
+    _call_run(kernel, env, row)
+    STATS["whole_runs"] += 1
+    return True
+
+
+def _invoke_batch(kernel: _NativeKernel, rows: list) -> None:
+    """One C batch-driver call for ``rows`` = ``[(env, row), ...]``.
+
+    Gathers every row's memory into one flat image (a row's addresses
+    stay run-relative: the driver adds the row's segment offset to the
+    mem base), fires ``simdal_steady_batch`` once, then scatters the
+    segments and per-row vregs back.  Callers commit registers and
+    counters per row afterwards.
+    """
+    plan = _plan_for(kernel)
+    sizes = [env.mem.size for env, _ in rows]
+    offsets: list = []
+    total = 0
+    for size in sizes:
+        offsets.append(total)
+        total += size
+    flat = bytearray(total)
+    for (env, _), offset, size in zip(rows, offsets, sizes):
+        flat[offset:offset + size] = env.mem.raw()
+    lbn: list = []
+    wb: list = []
+    scal: list = []
+    sect: list = []
+    cvec = bytearray()
+    vregs = bytearray()
+    for (env, row), offset in zip(rows, offsets):
+        lbn += (offset, row.lb, row.n)
+        wb += row.wb
+        scal += row.scal
+        sect += row.sect
+        cvec += row.cvec
+        vregs += row.vregs
+    flat_buf = flat if flat else bytearray(1)
+    vregs_buf = vregs if vregs else bytearray(1)
+    cvec_buf = cvec if cvec else bytearray(1)
+    c_mem = _u8_array(len(flat_buf)).from_buffer(flat_buf)
+    c_vregs = _u8_array(len(vregs_buf)).from_buffer(vregs_buf)
+    c_cvec = _u8_array(len(cvec_buf)).from_buffer(cvec_buf)
+    c_lbn = _i64_array(len(lbn))(*lbn)
+    c_wb = _i64_array(max(1, len(wb)))(*wb)
+    c_scal = _i64_array(max(1, len(scal)))(*scal)
+    c_sect = _i64_array(max(1, len(sect)))(*sect)
+    try:
+        kernel.bcfn(c_mem, len(rows), c_lbn, c_wb, c_scal, c_cvec,
+                    c_vregs, c_sect)
+    finally:
+        del c_mem, c_vregs, c_cvec
+    for (env, _), offset, size in zip(rows, offsets, sizes):
+        env.mem.raw()[:] = flat[offset:offset + size]
+    stride = plan.nv_stride
+    if stride:
+        for idx, (_env, row) in enumerate(rows):
+            row.vregs = vregs[idx * stride:(idx + 1) * stride]
+
+
+# ---------------------------------------------------------------------------
 # The backend
 # ---------------------------------------------------------------------------
 
@@ -889,7 +1529,12 @@ class NativeBackend(JitBackend):
     """Machine-code execution of vector programs (bit-exact vs bytes).
 
     Inherits the jit engine's run/guard/section machinery and swaps the
-    steady loop for the compiled C kernel via the three hook points.
+    steady loop for the compiled C kernel via the hook points.  When a
+    kernel's whole-run surface compiled (``meta.sections_c``), accepted
+    runs execute as a single ``simdal_run`` call and whole signature
+    classes execute as a single ``simdal_steady_batch`` call — one
+    ctypes crossing per class; anything the marshaller bails on replays
+    the classic per-piece path from untouched state.
     """
 
     name = "native"
@@ -900,11 +1545,105 @@ class NativeBackend(JitBackend):
     def _steady(self, env, steady, kernel):
         return _run_steady_native(env, steady, kernel)
 
-    def _steady_batch(self, live, kernel):
-        # Per-env native execution: sections and trip handling already
-        # happened in run_batch; the C kernel is the batch win here
-        # (one machine-code loop per config, no NumPy dispatch at all).
-        fell: dict[int, bool] = {}
+    def _finish_env(self, env, kernel):
+        meta = kernel.meta
+        if (kernel.cfn is not None and kernel.rfn is not None
+                and meta is not None and meta.sections_c
+                and _invoke_run(kernel, env)):
+            return False
+        return super()._finish_env(env, kernel)
+
+    def _batch_finish(self, live, results, kernel):
+        meta = kernel.meta
+        if (kernel.cfn is None or kernel.bcfn is None or meta is None
+                or not meta.sections_c):
+            return super()._batch_finish(live, results, kernel)
+        rows: list = []
+        classic: list = []
         for i, env in live:
-            fell[i] = _run_steady_native(env, env.program.steady, kernel)
+            try:
+                rows.append((i, env, _marshal_run(kernel, env)))
+            except _Bail:
+                classic.append((i, env))
+        if len(rows) == 1:
+            # Singleton classes skip the flat gather/scatter copy.
+            i, env, row = rows[0]
+            _call_run(kernel, env, row)
+            STATS["whole_runs"] += 1
+            results[i] = interp.VectorRunResult(env.counters, env.trip,
+                                                used_fallback=False)
+        elif rows:
+            _invoke_batch(kernel, [(env, row) for _, env, row in rows])
+            STATS["batch_calls"] += 1
+            STATS["batch_rows"] += len(rows)
+            for i, env, row in rows:
+                _commit_run(kernel, env, row)
+                results[i] = interp.VectorRunResult(env.counters, env.trip,
+                                                    used_fallback=False)
+        for i, env in classic:
+            fell = super()._finish_env(env, kernel)
+            results[i] = interp.VectorRunResult(env.counters, env.trip,
+                                                used_fallback=fell)
+
+    def _steady_batch(self, live, kernel):
+        # Reached when the whole-run surface is unavailable (sections
+        # not lowered, or functions still pending): sections already
+        # ran in Python; batch the steady loops through the C driver.
+        if kernel.cfn is None or kernel.bcfn is None:
+            # Pending/declined kernels batch on the jit tier's
+            # config-batched kernel, exactly like jit.run_batch.
+            return jit._run_steady_batch(live, kernel.jk)
+        spec = kernel.jk.spec
+        V = spec.V
+        plan = _plan_for(kernel)
+        fell: dict[int, bool] = {}
+        if len(live) == 1:
+            for i, env in live:
+                fell[i] = _run_steady_native(env, env.program.steady,
+                                             kernel)
+            return fell
+        rows: list = []
+        solo: list = []
+        for i, env in live:
+            steady = env.program.steady
+            lb = interp._eval_s(env, steady.lb)
+            ub = interp._eval_s(env, steady.ub)
+            if steady.step <= 0:
+                solo.append((i, env, lb, ub))
+                continue
+            n = len(range(lb, ub, steady.step))
+            if n == 0:
+                fell[i] = False
+                continue
+            try:
+                wb, scal, cvec = _steady_tables(kernel, env, lb, n)
+                vregs = bytearray(plan.nv_stride)
+                for name, offset in plan.seed_offsets:
+                    vregs[offset:offset + V] = interp._read_vreg(env, name)
+            except jit._Unbatchable:
+                npbackend._steady_periter(env, steady, lb, ub)
+                fell[i] = True
+                continue
+            except MachineError:
+                solo.append((i, env, lb, ub))
+                continue
+            rows.append((i, env,
+                         _Row(None, lb, n, list(wb), scal, cvec,
+                              [0] * plan.nsect, vregs, ())))
+        if len(rows) == 1:
+            i, env, row = rows[0]
+            solo.append((i, env, row.lb, row.lb + row.n * spec.step))
+            rows = []
+        if rows:
+            _invoke_batch(kernel, [(env, row) for _, env, row in rows])
+            STATS["batch_calls"] += 1
+            STATS["batch_rows"] += len(rows)
+            for i, env, row in rows:
+                for name, offset in plan.out_offsets:
+                    env.vregs[name] = bytes(row.vregs[offset:offset + V])
+                jit._bump_steady_counters(env, spec, row.n)
+                fell[i] = False
+        for i, env, lb, ub in solo:
+            fell[i] = _run_steady_at_native(env, env.program.steady,
+                                            kernel, lb, ub)
         return fell

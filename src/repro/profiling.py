@@ -130,11 +130,25 @@ class PhaseProfile:
             if fallbacks:
                 line += f", {fallbacks} fallbacks"
             lines.append(line)
+            batch_calls = self.counts.get("native_batch_calls", 0)
+            whole_runs = self.counts.get("native_whole_runs", 0)
+            if batch_calls or whole_runs:
+                batch_rows = self.counts.get("native_batch_rows", 0)
+                lines.append(
+                    f"  native batch driver: {batch_calls} class "
+                    f"call{'s' if batch_calls != 1 else ''} covering "
+                    f"{batch_rows} configs, {whole_runs} whole-run calls"
+                )
         resilience = []
         degraded_to = sorted(
             k for k in self.counts if k.startswith("degraded_to_")
         )
-        for name in ("degraded", *degraded_to, "scalar_degraded", "retries",
+        batch_degraded_from = sorted(
+            k for k in self.counts if k.startswith("batch_degraded_from_")
+        )
+        for name in ("degraded", *degraded_to,
+                     "batch_degraded", *batch_degraded_from,
+                     "scalar_degraded", "retries",
                      "task_splits", "pool_restarts", "serial_fallbacks",
                      "failed_configs", "checkpoint_hits",
                      "disk_corrupt_quarantined"):

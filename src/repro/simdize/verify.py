@@ -47,6 +47,11 @@ class EquivalenceReport:
     fallback: dict | None = None
     #: Same, for the scalar-reference axis (``numpy`` -> ``bytes``).
     scalar_fallback: dict | None = None
+    #: Batch-level degradation: set when this config belonged to a
+    #: batched class whose primary tier lacked (or failed) batch
+    #: execution and ran config-by-config instead:
+    #: ``{"tier": primary, "phase": "batch", "reason": why}``.
+    batch_fallback: dict | None = None
 
     @property
     def scalar_total(self) -> int:
@@ -230,6 +235,7 @@ def verify_equivalence_batch(
             used_fallback=vector_result.used_fallback,
             fallback=vector_result.fallback,
             scalar_fallback=scalar_result.fallback,
+            batch_fallback=getattr(vector_result, "batch_fallback", None),
         ))
     return reports
 
@@ -241,6 +247,10 @@ def _count_degradations(
     if vector_result.fallback is not None:
         profile.count("degraded")
         profile.count(f"degraded_to_{vector_result.fallback['tier']}")
+    batch_fb = getattr(vector_result, "batch_fallback", None)
+    if batch_fb is not None:
+        profile.count("batch_degraded")
+        profile.count(f"batch_degraded_from_{batch_fb['tier']}")
     if scalar_result.fallback is not None:
         profile.count("scalar_degraded")
 

@@ -38,6 +38,12 @@ pytestmark = pytest.mark.skipif(
     not numpy_available(), reason="batched sweeps need numpy"
 )
 
+if numpy_available():
+    from repro.machine import native as _native
+
+HAVE_CC = numpy_available() and _native._compiler_identity()[0] is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no host C compiler")
+
 
 def _ragged_class(trips, seed=3, loads=3, policy="eager", unroll=1):
     """Configs guaranteed to share one program signature.
@@ -151,6 +157,137 @@ class TestRunBatch:
         for res, ref, rmem, smem in zip(results, solo, batch_mems, solo_mems):
             assert res.counters == ref.counters
             assert rmem.snapshot() == smem.snapshot()
+
+
+@needs_cc
+class TestNativeRunBatch:
+    """The native tier's C batch driver against jit and the oracle."""
+
+    def _counts(self):
+        return {k: v for k, v in _native.STATS.items() if isinstance(v, int)}
+
+    def _assert_three_way(self, items):
+        native_engine = get_backend("native")
+        jit_engine = get_backend("jit")
+        bytes_engine = get_backend("bytes")
+        nat_mems = [mem.clone() for _, _, mem, _ in items]
+        jit_mems = [mem.clone() for _, _, mem, _ in items]
+        ora_mems = [mem.clone() for _, _, mem, _ in items]
+        nat = native_engine.run_batch([
+            (p, s, m, b) for (p, s, _, b), m in zip(items, nat_mems)])
+        jit_res = jit_engine.run_batch([
+            (p, s, m, b) for (p, s, _, b), m in zip(items, jit_mems)])
+        ora = [bytes_engine.run(p, s, m, b)
+               for (p, s, _, b), m in zip(items, ora_mems)]
+        for nres, jres, ores, nmem, jmem, omem in zip(
+                nat, jit_res, ora, nat_mems, jit_mems, ora_mems):
+            assert nmem.snapshot() == jmem.snapshot() == omem.snapshot()
+            assert nres.counters == jres.counters == ores.counters
+            assert nres.trip == jres.trip == ores.trip
+            assert nres.used_fallback == jres.used_fallback
+        return nat
+
+    def test_ragged_class_through_c_driver(self):
+        items = _run_items(_ragged_class((45, 61, 75)))
+        before = self._counts()
+        self._assert_three_way(items)
+        after = self._counts()
+        # The class must have executed through the C batch driver —
+        # a silent bail to the classic path would still pass the
+        # byte-equality above but void the perf claim.
+        assert after["batch_calls"] == before["batch_calls"] + 1
+        assert after["batch_rows"] == before["batch_rows"] + len(items)
+
+    def test_guard_row_degrades_alone(self):
+        # trip=2 falls to the guarded scalar path; its classmates must
+        # still batch through the driver with identical bytes.
+        items = _run_items(_ragged_class((2, 61, 75)))
+        before = self._counts()
+        results = self._assert_three_way(items)
+        after = self._counts()
+        assert results[0].used_fallback
+        assert not results[1].used_fallback
+        assert after["batch_calls"] == before["batch_calls"] + 1
+        assert after["batch_rows"] == before["batch_rows"] + 2
+
+    def test_singleton_class_takes_whole_run_path(self):
+        items = _run_items(_ragged_class((61,)))
+        before = self._counts()
+        self._assert_three_way(items)
+        after = self._counts()
+        assert after["whole_runs"] == before["whole_runs"] + 1
+        assert after["batch_calls"] == before["batch_calls"]
+
+    def test_measure_batch_native_matches_jit_measurements(self):
+        configs = _ragged_class((45, 61, 75)) + _ragged_class(
+            (40, 56), loads=2, policy="lazy")
+        assert (measure_batch(configs, backend="native")
+                == measure_batch(configs, backend="jit"))
+
+
+class TestBatchFallthroughRecorded:
+    """Satellite: leaving the batch path is never silent."""
+
+    def test_batchless_tier_records_batch_fallback(self):
+        from repro.machine.backend import get_resilient_backend
+
+        items = _run_items(_ragged_class((45, 61)))
+        engine = get_resilient_backend("bytes")
+        results = engine.run_batch(
+            [(p, s, m.clone(), b) for p, s, m, b in items])
+        for result in results:
+            assert result.batch_fallback == {
+                "tier": "bytes", "phase": "batch",
+                "reason": "tier has no batch execution",
+            }
+
+    def test_batch_tier_success_leaves_no_record(self):
+        from repro.machine.backend import get_resilient_backend
+
+        items = _run_items(_ragged_class((45, 61)))
+        results = get_resilient_backend("jit").run_batch(
+            [(p, s, m.clone(), b) for p, s, m, b in items])
+        for result in results:
+            assert result.batch_fallback is None
+
+    def test_batch_failure_restores_memory_and_records(self):
+        from repro.machine.backend import get_resilient_backend
+
+        items = _run_items(_ragged_class((45, 61)))
+        engine = get_resilient_backend("jit")
+
+        class _Boom:
+            def run_batch(self, runs):
+                for _, _, mem, _ in runs:
+                    mem.raw()[:1] = b"\xAA"
+                raise MachineError("injected batch failure")
+
+            def run(self, program, space, mem, bindings=None, trace=None):
+                return get_backend("jit").run(program, space, mem, bindings)
+
+        engine._chain._engines[engine._chain.tiers[0]] = _Boom()
+        ref_mems = [mem.clone() for _, _, mem, _ in items]
+        refs = [get_backend("bytes").run(p, s, m, b)
+                for (p, s, _, b), m in zip(items, ref_mems)]
+        run_mems = [mem.clone() for _, _, mem, _ in items]
+        results = engine.run_batch(
+            [(p, s, m, b) for (p, s, _, b), m in zip(items, run_mems)])
+        for result, ref, rmem, refmem in zip(results, refs, run_mems,
+                                             ref_mems):
+            assert result.batch_fallback is not None
+            assert result.batch_fallback["phase"] == "batch"
+            assert "injected batch failure" in result.batch_fallback["reason"]
+            assert result.counters == ref.counters
+            assert rmem.snapshot() == refmem.snapshot()
+
+    def test_batch_fallback_surfaces_in_profile(self):
+        profile = PhaseProfile()
+        measure_batch(_ragged_class((45, 61)), backend="bytes",
+                      profile=profile)
+        assert profile.counts["batch_degraded"] == 2
+        assert profile.counts["batch_degraded_from_bytes"] == 2
+        text = profile.format()
+        assert "batch_degraded" in text
 
 
 class TestMeasureBatchParity:
@@ -274,7 +411,10 @@ def batch_case(draw):
             params, draw(st.integers(min_value=0, max_value=7)),
             options, 16, "hyp",
         ))
-    backend = draw(st.sampled_from(("auto", "jit", "numpy", "bytes")))
+    backends = ("auto", "jit", "numpy", "bytes")
+    if HAVE_CC:
+        backends += ("native",)
+    backend = draw(st.sampled_from(backends))
     return configs, backend
 
 

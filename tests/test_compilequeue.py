@@ -412,6 +412,107 @@ class TestRightSizedJobs:
 
 
 # ---------------------------------------------------------------------------
+def _class_items(trips, seed=11, loads=3):
+    """One signature class of (program, space, mem, bindings) rows.
+
+    Runtime-trip configs differing only in trip share a structural
+    signature, so they batch as one class with ragged trip counts.
+    """
+    from repro.bench.synth import SynthParams
+    from repro.ir.types import INT32
+
+    options = SimdOptions(policy="eager", reuse="sp")
+    items = []
+    for trip in trips:
+        params = SynthParams(loads=loads, statements=1, trip=trip,
+                             bias=0.3, reuse=0.3, dtype=INT32,
+                             runtime_trip=True)
+        syn = synthesize(params, seed, 16)
+        result = simdize(syn.loop, 16, options)
+        rand = random.Random(seed ^ 0x5EED)
+        space = make_space(syn.loop, 16, rand, syn.base_residues)
+        mem = space.make_memory()
+        fill_random(space, mem, rand)
+        items.append((result.program, space, mem, RunBindings(trip=trip)))
+    return items
+
+
+@needs_cc
+class TestBatchAcquisitionModes:
+    """run_batch across acquisition modes: pending classes batch on the
+    jit tier, landed classes batch through the C driver — same bytes."""
+
+    def _oracle(self, items):
+        mems = [mem.clone() for _, _, mem, _ in items]
+        runs = [get_backend("bytes").run(p, s, m, b)
+                for (p, s, _, b), m in zip(items, mems)]
+        return [(m.snapshot(), r.counters.as_dict(), r.trip)
+                for m, r in zip(mems, runs)]
+
+    def _native_batch(self, items):
+        mems = [mem.clone() for _, _, mem, _ in items]
+        runs = get_backend("native").run_batch([
+            (p, s, m, b) for (p, s, _, b), m in zip(items, mems)])
+        return [(m.snapshot(), r.counters.as_dict(), r.trip)
+                for m, r in zip(mems, runs)]
+
+    def test_pending_class_batches_on_jit_then_hot_swaps(self, monkeypatch):
+        gate = threading.Event()
+        real = compilequeue.compile_requests
+
+        def gated(requests, disk):
+            gate.wait(timeout=60.0)
+            return real(requests, disk)
+
+        monkeypatch.setattr(compilequeue, "compile_requests", gated)
+        items = _class_items((51, 67, 83))
+        oracle = self._oracle(items)
+        compilequeue.set_async_compile(True)
+        kernel = native.get_native_kernel(items[0][0])
+        assert kernel.pending and kernel.bcfn is None
+        before = dict(native.STATS)
+        # In-flight compile: the class batches on jit's kernel, byte-
+        # identical, and the C driver is untouched.
+        assert self._native_batch(items) == oracle
+        assert native.STATS["batch_calls"] == before["batch_calls"]
+        gate.set()
+        assert compilequeue.drain(timeout=60.0)
+        assert kernel.rfn is not None and kernel.bcfn is not None
+        before = dict(native.STATS)
+        assert self._native_batch(items) == oracle
+        assert native.STATS["batch_calls"] == before["batch_calls"] + 1
+        assert native.STATS["batch_rows"] == before["batch_rows"] + 3
+
+    def test_precompiled_class_batches_through_driver(self):
+        items = _class_items((45, 61), seed=13)
+        assert compilequeue.precompile([items[0][0]]) == 1
+        kernel = native.get_native_kernel(items[0][0])
+        assert kernel.rfn is not None and kernel.bcfn is not None
+        oracle = self._oracle(items)
+        before = dict(native.STATS)
+        assert self._native_batch(items) == oracle
+        assert native.STATS["batch_calls"] == before["batch_calls"] + 1
+
+    def test_disk_loaded_kernel_drives_batches(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            set_cache_dir(Path(tmp))
+            try:
+                items = _class_items((45, 61), seed=17)
+                oracle = self._oracle(items)
+                assert self._native_batch(items) == oracle
+                # A fresh process image: the memory cache clears, the
+                # .so reloads from the artifact group with all three
+                # symbols bound.
+                native.clear_memory_cache()
+                before = dict(native.STATS)
+                assert self._native_batch(items) == oracle
+                assert native.STATS["disk_hits"] == before["disk_hits"] + 1
+                assert (native.STATS["batch_calls"]
+                        == before["batch_calls"] + 1)
+            finally:
+                set_cache_dir(None)
+
+
 # Differential: every acquisition mode is byte-identical
 # ---------------------------------------------------------------------------
 
