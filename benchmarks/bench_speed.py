@@ -47,6 +47,14 @@ Measurements over a fixed, seeded Figure-11 sweep:
   signature-class size histogram.  The emitted Measurements are
   asserted identical between modes; the bar is a >= 1.25x wall-clock
   win on both the serial and the equal-worker comparison.
+* **native simd** — the vector-extension emitter vs the scalar-lane
+  emitter on identical pre-marshalled steady-kernel calls (the
+  marshalling around one ctypes crossing is mode-invariant and would
+  drown the kernel body at engine level), plus whole-run and
+  batch-driver views and a measured aligned-vs-shifted kernel pair.
+  Bars: >= 1.3x on the direct steady path and a >= 1.05x measured
+  realignment overhead — the paper's aligned-access claim on real
+  hardware.  Skipped when cc fails the vector-extension probe.
 * **native batch** — the C batch driver (one ctypes crossing per
   signature class, row loop in C) vs config-batched jit at the engine
   ``run_batch`` level on the fig11 signature classes, plus a
@@ -629,6 +637,187 @@ def test_backend_speed():
                                         2),
         }
 
+    # True-SIMD emitter: scalar-lane vs vector-extension codegen on the
+    # same signature set, plus a measured aligned-vs-shifted kernel
+    # pair — the paper's realignment-overhead claim on real hardware.
+    # The steady comparison times direct pre-marshalled kernel calls:
+    # the Python-side marshalling around one ctypes crossing (~20 us)
+    # is mode-invariant and would otherwise drown the ~2 us kernel
+    # body, so engine-level timing cannot see the codegen difference.
+    # Whole-run and batch-driver views are recorded honestly (diluted)
+    # but unasserted.
+    if native_mod._compiler_identity()[0] is None:
+        native_simd_section = {"skipped": "no C compiler on host"}
+        simd_steady_speedup = None
+        realignment_overhead = None
+    elif not native_mod.simd_supported():
+        native_simd_section = {
+            "skipped": "compiler fails the vector-extension probe"}
+        simd_steady_speedup = None
+        realignment_overhead = None
+    else:
+        import ctypes as _ct
+
+        from repro.lang import compile_source
+        from repro.machine import interp as interp_mod
+        from repro.machine.alignedbuf import aligned_view, as_ctypes_u8
+
+        def _marshal_direct(program, space, mem, bindings):
+            """(cfn, args, keepalive) for one steady call, or None."""
+            try:
+                kernel = native_mod.get_native_kernel(program)
+            except Exception:
+                return None
+            if kernel.cfn is None:
+                return None
+            steady = program.steady
+            if steady is None or steady.step <= 0:
+                return None
+            m = mem.clone()
+            env = interp_mod._Env(program, space, m, bindings, None)
+            try:
+                interp_mod._exec_stmts(env, program.preheader, i=None)
+                lb = interp_mod._eval_s(env, steady.lb)
+                ub = interp_mod._eval_s(env, steady.ub)
+                n = len(range(lb, ub, steady.step))
+                if n <= 0:
+                    return None
+                plan = native_mod._plan_for(kernel)
+                bases, amounts, cvec = native_mod._steady_tables(
+                    kernel, env, lb, n)
+            except Exception:
+                return None
+            vregs = aligned_view(plan.vregs_len)
+            cbuf = aligned_view(max(1, len(cvec)))
+            cbuf[:len(cvec)] = cvec
+            c_mem = (_ct.c_uint8 * m.size).from_buffer(m.raw())
+            args = (c_mem, lb, n,
+                    (_ct.c_int64 * max(1, len(bases)))(*bases),
+                    (_ct.c_int64 * max(1, len(amounts)))(*amounts),
+                    as_ctypes_u8(cbuf),
+                    (_ct.c_uint8 * plan.vregs_len).from_buffer(vregs))
+            return kernel.cfn, args, (m, vregs, cbuf)
+
+        SIMD_REPS = 20
+
+        def _mode_times(simd: bool):
+            native_mod.set_simd_mode(simd)
+            with tempfile.TemporaryDirectory() as cache_root:
+                set_cache_dir(cache_root)
+                try:
+                    jit.clear_memory_cache()
+                    calls = []
+                    for w in workloads:
+                        made = _marshal_direct(w.program, w.space, w.mem,
+                                               w.bindings)
+                        if made is not None:
+                            calls.append(made)
+                    best = float("inf")
+                    for _ in range(ROUNDS):
+                        start = time.perf_counter()
+                        for _ in range(SIMD_REPS):
+                            for fn, args, _keep in calls:
+                                fn(*args)
+                        best = min(best, time.perf_counter() - start)
+                    steady_s = best / SIMD_REPS
+                    kernels = len(calls)
+                    del calls  # release buffer exports
+                    whole_s = _time_engine(get_backend("native"), workloads)
+                    compilequeue.precompile(
+                        [group[0][0] for group in nb_classes.values()])
+                    _time_run_batch("native")  # warm the batch kernels
+                    batch_s = _time_run_batch("native")
+                finally:
+                    reset_cache_dir()
+                    jit.clear_memory_cache()
+                    native_mod.clear_memory_cache()
+            return kernels, steady_s, whole_s, batch_s
+
+        # The pair runs at a much longer trip than the sweep workloads:
+        # one steady call must spend far longer in the loop body than
+        # in the fixed ~1.5 us ctypes dispatch, or the three extra
+        # shuffles per iteration disappear into call overhead.
+        PAIR_ELEMS = 16384
+        PAIR_TRIP = PAIR_ELEMS - 73
+
+        def _pair_steady(src: str, name: str) -> float:
+            """Best direct-call steady time for one mini-C kernel."""
+            loop = compile_source(src, name=name)
+            from repro.simdize import SimdOptions
+            result = _cached_simdize(loop, 16,
+                                     SimdOptions(policy="zero", reuse="sp"))
+            rng = random.Random(0xA119)
+            space = make_space(loop, 16, rng)
+            mem = space.make_memory()
+            fill_random(space, mem, rng)
+            made = _marshal_direct(result.program, space, mem,
+                                   RunBindings(trip=PAIR_TRIP))
+            assert made is not None, f"{name} kernel not lowered natively"
+            fn, args, _keep = made
+            reps = 20 * SIMD_REPS
+            best = float("inf")
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                for _ in range(reps):
+                    fn(*args)
+                best = min(best, time.perf_counter() - start)
+            return best / reps
+
+        try:
+            scalar_kernels, simd_scalar_steady_s, simd_scalar_whole_s, \
+                simd_scalar_batch_s = _mode_times(False)
+            simd_kernels, simd_steady_s, simd_whole_s, simd_batch_s = \
+                _mode_times(True)
+
+            # Aligned-vs-shifted pair under the vector-ext emitter: the
+            # same computation with zero-offset accesses (all streams
+            # aligned, no realignment) vs the Figure-1 offsets (three
+            # vshiftstream realignments per iteration).
+            _PAIR_DECLS = (f"int16_t a[{PAIR_ELEMS}] align 0; "
+                           f"int16_t b[{PAIR_ELEMS}] align 0; "
+                           f"int16_t c[{PAIR_ELEMS}] align 0; int n;\n")
+            native_mod.set_simd_mode(True)
+            with tempfile.TemporaryDirectory() as cache_root:
+                set_cache_dir(cache_root)
+                try:
+                    jit.clear_memory_cache()
+                    aligned_steady_s = _pair_steady(
+                        _PAIR_DECLS +
+                        "for (i = 0; i < n; i++) { a[i] = b[i] + c[i]; }",
+                        "pair_aligned")
+                    shifted_steady_s = _pair_steady(
+                        _PAIR_DECLS + "for (i = 0; i < n; i++) "
+                        "{ a[i+3] = b[i+1] + c[i+2]; }",
+                        "pair_shifted")
+                finally:
+                    reset_cache_dir()
+                    jit.clear_memory_cache()
+                    native_mod.clear_memory_cache()
+        finally:
+            native_mod.set_simd_mode(None)
+
+        simd_steady_speedup = simd_scalar_steady_s / simd_steady_s
+        realignment_overhead = shifted_steady_s / aligned_steady_s
+        native_simd_section = {
+            "emitter": native_mod.emitter_mode(),
+            "cc_flags": list(native_mod.compiler_flags()),
+            "kernels": simd_kernels,
+            "trip": SPEED_TRIP,
+            "scalar_lane_steady_s": round(simd_scalar_steady_s, 6),
+            "vector_ext_steady_s": round(simd_steady_s, 6),
+            "steady_speedup": round(simd_steady_speedup, 2),
+            "scalar_lane_whole_s": round(simd_scalar_whole_s, 4),
+            "vector_ext_whole_s": round(simd_whole_s, 4),
+            "whole_speedup": round(simd_scalar_whole_s / simd_whole_s, 2),
+            "scalar_lane_batch_s": round(simd_scalar_batch_s, 4),
+            "vector_ext_batch_s": round(simd_batch_s, 4),
+            "batch_speedup": round(simd_scalar_batch_s / simd_batch_s, 2),
+            "pair_trip": PAIR_TRIP,
+            "aligned_steady_s": round(aligned_steady_s, 7),
+            "shifted_steady_s": round(shifted_steady_s, 7),
+            "realignment_overhead": round(realignment_overhead, 2),
+        }
+
     payload = {
         "benchmark": "figure11-sweep interpreter wall clock",
         "python": platform.python_version(),
@@ -702,6 +891,7 @@ def test_backend_speed():
             "jobs_speedup": round(batch_jobs_speedup, 2),
         },
         "native_batch": native_batch_section,
+        "native_simd": native_simd_section,
     }
     from repro.reporting import atomic_write_text
 
@@ -790,6 +980,29 @@ def test_backend_speed():
             f"native {nbe_native_jobs_s:7.4f} s   "
             f"({nb['sweep_jobs_speedup']:.2f}x)",
         ]
+    if "skipped" in native_simd_section:
+        lines.append(
+            f"native simd emitter: skipped "
+            f"({native_simd_section['skipped']})")
+    else:
+        ns = native_simd_section
+        lines += [
+            f"native simd emitter over {ns['kernels']} kernels "
+            f"(trip {SPEED_TRIP}, direct steady calls, "
+            f"cc {' '.join(ns['cc_flags'])}):",
+            f"  steady  scalar-lane {simd_scalar_steady_s * 1e6:8.1f} us  "
+            f"vector-ext {simd_steady_s * 1e6:8.1f} us   "
+            f"({simd_steady_speedup:.1f}x)",
+            f"  whole   scalar-lane {simd_scalar_whole_s:8.4f} s   "
+            f"vector-ext {simd_whole_s:8.4f} s   "
+            f"({ns['whole_speedup']:.2f}x)",
+            f"  batch   scalar-lane {simd_scalar_batch_s:8.4f} s   "
+            f"vector-ext {simd_batch_s:8.4f} s   "
+            f"({ns['batch_speedup']:.2f}x)",
+            f"  realignment pair: aligned {aligned_steady_s * 1e9:7.0f} ns  "
+            f"shifted {shifted_steady_s * 1e9:7.0f} ns per call   "
+            f"({realignment_overhead:.2f}x overhead)",
+        ]
     record("speed", "\n".join(lines))
 
     # The acceptance bars: batched execution is an order of magnitude
@@ -863,3 +1076,17 @@ def test_backend_speed():
         assert driver_coverage >= 0.9, (
             f"C driver covered only {nb_driver_classes}/{nb_class_count} "
             f"signature classes")
+    if "skipped" not in native_simd_section:
+        # The vector-extension emitter against the scalar-lane one on
+        # identical pre-marshalled steady calls (measured ~3-4x here;
+        # the bar leaves margin for weaker autovectorizers making the
+        # scalar-lane baseline faster).  The realignment pair pins the
+        # paper's core claim on hardware: the same computation with
+        # misaligned streams must cost measurably more than its
+        # aligned twin under the aligned-SIMD code path.
+        assert simd_steady_speedup >= 1.3, (
+            f"vector-ext steady path only {simd_steady_speedup:.2f}x "
+            f"over scalar-lane")
+        assert realignment_overhead >= 1.05, (
+            f"shifted kernel only {realignment_overhead:.2f}x the "
+            f"aligned one — realignment overhead not measurable")

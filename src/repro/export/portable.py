@@ -25,6 +25,15 @@ what the native tier needs from its default dialect.
 
 Little-endian hosts only (lane order in memory matters); the emitted
 unit refuses to compile elsewhere rather than silently diverge.
+
+The native tier has a second, preferred flavour of the same helper
+set: :func:`simd_helpers` maps ``simdal_vec`` onto GCC/Clang
+``__attribute__((vector_size(V)))`` types — true SIMD expressions,
+``__builtin_shufflevector`` realignment, and
+``__builtin_assume_aligned`` loads/stores — with byte-identical
+semantics.  :func:`kernel_unit_prelude` selects between the two; the
+exporter proper (``repro export``) always uses the scalar-lane
+backend, which compiles anywhere.
 """
 
 from __future__ import annotations
@@ -226,6 +235,14 @@ static inline simdal_vec simdal_op_ssub(simdal_vec a, simdal_vec b) {{
     }}
     return r;
 }}
+
+/* Mode-compat aliases: the kernel emitter is emitter-mode-agnostic
+   and always writes the aligned (_a) and constant-amount (_c) forms;
+   in scalar-lane mode they are the plain helpers. */
+#define simdal_load_a simdal_load
+#define simdal_store_a simdal_store
+#define simdal_shiftpair_c(a, b, k) simdal_shiftpair((a), (b), (k))
+#define simdal_splice_c(a, b, p) simdal_splice((a), (b), (p))
 """
 
     def load(self, ptr: str) -> str:
@@ -256,11 +273,216 @@ static inline simdal_vec simdal_op_ssub(simdal_vec a, simdal_vec b) {{
         return f"simdal_op_{op_name}({a}, {b})"
 
 
-def kernel_unit_prelude(V: int, dtype: DataType) -> str:
+def simd_helpers(V: int, dtype: DataType) -> str:
+    """The vector-extension twin of :meth:`PortableBackend.helpers`.
+
+    Same helper names, same exact semantics, but ``simdal_vec`` is a
+    GCC/Clang ``__attribute__((vector_size(V)))`` unsigned-lane vector
+    so every op is a single vector expression the compiler lowers to
+    real SIMD instructions instead of an auto-vectorization candidate.
+    Differences that matter for exactness:
+
+    * arithmetic runs on the *unsigned* lane vector (element-wise wrap
+      is defined); the signed view ``simdal_svec`` appears only in
+      comparisons and arithmetic right shifts, mirroring the scalar
+      helpers' widen-then-wrap behaviour bit for bit —
+      ``avg`` uses the carry-free identity ``(a & b) + ((a ^ b) >> 1)``
+      (exact floor average, signed via arithmetic shift), ``sadd`` /
+      ``ssub`` use overflow-mask saturation;
+    * ``simdal_load_a``/``simdal_store_a`` wrap the pointer in
+      ``__builtin_assume_aligned(p, V)`` — the native tier only emits
+      them for addresses that are *provably* V-aligned (window bases
+      and section bases are truncated to V, and every buffer base
+      comes from :mod:`repro.machine.alignedbuf`);
+    * constant-amount ``simdal_shiftpair_c``/``simdal_splice_c`` are
+      ``__builtin_shufflevector`` macros (indices must be literals);
+      the runtime-amount forms go through an aligned double-width
+      buffer, which the optimizer folds to byte shifts.
+
+    Lane order is memory order on a little-endian host (enforced by
+    the same preprocessor guard as the scalar helpers), so results are
+    byte-identical to the scalar-lane emitter and the bytes oracle.
+    """
+    if V % dtype.size != 0:
+        raise CodegenError(
+            f"vector length {V} is not a multiple of lane size {dtype.size}"
+        )
+    B = V // dtype.size
+    lane = C_TYPES[dtype.name]
+    ulane = f"uint{dtype.size * 8}_t"
+    slane = f"int{dtype.size * 8}_t"
+    hi = dtype.max_value
+    sign_shift = dtype.size * 8 - 1
+    iota_idx = ", ".join(str(l) for l in range(B))
+    splice_idx = ", ".join(str(l) for l in range(V))
+    shift_sel = ", ".join(f"(k) + {l}" for l in range(V))
+    splice_sel = ", ".join(f"((p) > {l} ? {l} : SIMDAL_V + {l})"
+                           for l in range(V))
+    if dtype.signed:
+        cmp_cast = "(simdal_svec)"
+        avg = """\
+    simdal_svec sa = (simdal_svec)a, sb = (simdal_svec)b;
+    return (simdal_vec)((sa & sb) + ((sa ^ sb) >> 1));"""
+        sadd = f"""\
+    simdal_vec s = a + b;
+    simdal_svec ovf = (simdal_svec)(~(a ^ b) & (s ^ a)) >> {sign_shift};
+    simdal_vec sat = ((simdal_vec)((simdal_svec)a >> {sign_shift}))
+                     ^ (simdal_ulane){hi};
+    return (sat & (simdal_vec)ovf) | (s & ~(simdal_vec)ovf);"""
+        ssub = f"""\
+    simdal_vec d = a - b;
+    simdal_svec ovf = (simdal_svec)((a ^ b) & (d ^ a)) >> {sign_shift};
+    simdal_vec sat = ((simdal_vec)((simdal_svec)a >> {sign_shift}))
+                     ^ (simdal_ulane){hi};
+    return (sat & (simdal_vec)ovf) | (d & ~(simdal_vec)ovf);"""
+    else:
+        cmp_cast = ""
+        avg = "    return (a & b) + ((a ^ b) >> 1);"
+        sadd = """\
+    simdal_vec s = a + b;
+    return s | (simdal_vec)(s < a);"""
+        ssub = """\
+    simdal_vec d = a - b;
+    return d & (simdal_vec)~(a < b);"""
+    return f"""
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__
+#error "the simdal portable backend assumes a little-endian host"
+#endif
+
+#define SIMDAL_V {V}
+#define SIMDAL_B {B}
+typedef {lane} simdal_lane;
+typedef {ulane} simdal_ulane;
+typedef {ulane} simdal_vec __attribute__((vector_size(SIMDAL_V)));
+typedef {slane} simdal_svec __attribute__((vector_size(SIMDAL_V)));
+typedef uint8_t simdal_bvec __attribute__((vector_size(SIMDAL_V)));
+typedef int8_t simdal_sbvec __attribute__((vector_size(SIMDAL_V)));
+
+static inline simdal_vec simdal_load(const void *p) {{
+    simdal_vec v;
+    memcpy(&v, p, SIMDAL_V);
+    return v;
+}}
+
+static inline void simdal_store(void *p, simdal_vec v) {{
+    memcpy(p, &v, SIMDAL_V);
+}}
+
+/* Aligned forms: the caller guarantees p is V-aligned (window and
+   section bases are V-truncated offsets into 64-byte-aligned buffers);
+   the promise lets -O3 emit aligned vector moves. */
+static inline simdal_vec simdal_load_a(const void *p) {{
+    simdal_vec v;
+    memcpy(&v, __builtin_assume_aligned(p, SIMDAL_V), SIMDAL_V);
+    return v;
+}}
+
+static inline void simdal_store_a(void *p, simdal_vec v) {{
+    memcpy(__builtin_assume_aligned(p, SIMDAL_V), &v, SIMDAL_V);
+}}
+
+static inline simdal_vec simdal_shiftpair(simdal_vec a, simdal_vec b,
+                                          int64_t k) {{
+    /* bytes k..k+V-1 of the concatenation a++b, k in [0, V] */
+    uint8_t buf[2 * SIMDAL_V] __attribute__((aligned(SIMDAL_V)));
+    simdal_store_a(buf, a);
+    simdal_store_a(buf + SIMDAL_V, b);
+    return simdal_load(buf + k);
+}}
+
+/* Constant-shift form: a single byte shuffle (vperm/palignr class). */
+#define simdal_shiftpair_c(a, b, k) \\
+    ((simdal_vec)__builtin_shufflevector( \\
+        (simdal_bvec)(a), (simdal_bvec)(b), {shift_sel}))
+
+static const simdal_bvec simdal_splice_idx = {{{splice_idx}}};
+
+static inline simdal_vec simdal_splice(simdal_vec a, simdal_vec b,
+                                       int64_t point) {{
+    /* first `point` bytes from a, the rest from b (point in [0, V]) */
+    simdal_sbvec m = (simdal_sbvec)(simdal_splice_idx < (uint8_t)point);
+    return (simdal_vec)(((simdal_bvec)a & (simdal_bvec)m)
+                        | ((simdal_bvec)b & ~(simdal_bvec)m));
+}}
+
+/* Constant-point form: a compile-time blend. */
+#define simdal_splice_c(a, b, p) \\
+    ((simdal_vec)__builtin_shufflevector( \\
+        (simdal_bvec)(a), (simdal_bvec)(b), {splice_sel}))
+
+static inline simdal_vec simdal_splat(int64_t x) {{
+    return ((simdal_vec){{0}}) + (simdal_ulane)x;
+}}
+
+static const simdal_vec simdal_iota_idx = {{{iota_idx}}};
+
+static inline simdal_vec simdal_iota(int64_t x) {{
+    /* lanes of the V-aligned window holding element counter x; the
+       counter can be negative in prologue displacements, so divide
+       with floor semantics */
+    int64_t m = x >= 0 ? x / SIMDAL_B : ~((~x) / SIMDAL_B);
+    return simdal_splat(m * SIMDAL_B) + simdal_iota_idx;
+}}
+
+static inline simdal_vec simdal_op_add(simdal_vec a, simdal_vec b) {{
+    return a + b;
+}}
+
+static inline simdal_vec simdal_op_sub(simdal_vec a, simdal_vec b) {{
+    return a - b;
+}}
+
+static inline simdal_vec simdal_op_mul(simdal_vec a, simdal_vec b) {{
+    return a * b;
+}}
+
+static inline simdal_vec simdal_op_and(simdal_vec a, simdal_vec b) {{
+    return a & b;
+}}
+
+static inline simdal_vec simdal_op_or(simdal_vec a, simdal_vec b) {{
+    return a | b;
+}}
+
+static inline simdal_vec simdal_op_xor(simdal_vec a, simdal_vec b) {{
+    return a ^ b;
+}}
+
+static inline simdal_vec simdal_op_min(simdal_vec a, simdal_vec b) {{
+    simdal_svec m = (simdal_svec)({cmp_cast}a < {cmp_cast}b);
+    return (a & (simdal_vec)m) | (b & ~(simdal_vec)m);
+}}
+
+static inline simdal_vec simdal_op_max(simdal_vec a, simdal_vec b) {{
+    simdal_svec m = (simdal_svec)({cmp_cast}a > {cmp_cast}b);
+    return (a & (simdal_vec)m) | (b & ~(simdal_vec)m);
+}}
+
+static inline simdal_vec simdal_op_avg(simdal_vec a, simdal_vec b) {{
+    /* floor average via the carry-free identity (exact vs widening) */
+{avg}
+}}
+
+static inline simdal_vec simdal_op_sadd(simdal_vec a, simdal_vec b) {{
+{sadd}
+}}
+
+static inline simdal_vec simdal_op_ssub(simdal_vec a, simdal_vec b) {{
+{ssub}
+}}
+"""
+
+
+def kernel_unit_prelude(V: int, dtype: DataType, simd: bool = False) -> str:
     """The self-contained prelude of a steady-kernel translation unit.
 
     Standard includes plus the full helper block for one ``(V, dtype)``
-    pair.  The helper names (``simdal_vec``, ``simdal_load``, …) are
+    pair — the scalar-lane helpers by default, or the vector-extension
+    helpers (:func:`simd_helpers`) when ``simd`` is true.  The kernel
+    emitter's output is mode-agnostic (both helper sets export the same
+    names, including the ``_a`` aligned and ``_c`` constant-amount
+    forms), so the emitter mode lives entirely in this prelude and in
+    the disk-cache key.  The helper names (``simdal_vec``, ``simdal_load``, …) are
     fixed and dtype-parameterized, so one prelude serves *every* kernel
     sharing the pair — the native compile pipeline batches all such
     kernels into a single ``.c`` file behind one prelude and compiles
@@ -281,9 +503,12 @@ def kernel_unit_prelude(V: int, dtype: DataType) -> str:
     and duplicated inlining made batched translation units ~6x slower
     to compile.
     """
-    backend = PortableBackend()
+    helpers = simd_helpers(V, dtype) if simd \
+        else PortableBackend().helpers(V, dtype)
+    mode = "vector-ext" if simd else "scalar-lane"
     return (
-        "/* generated by simdal: steady-kernel translation unit */\n"
+        f"/* generated by simdal: steady-kernel translation unit "
+        f"({mode}) */\n"
         "#include <stdint.h>\n"
         "#include <string.h>\n"
         "#if defined(__GNUC__) || defined(__clang__)\n"
@@ -291,6 +516,6 @@ def kernel_unit_prelude(V: int, dtype: DataType) -> str:
         "#else\n"
         "#define SIMDAL_NOINLINE\n"
         "#endif\n"
-        + backend.helpers(V, dtype).rstrip()
+        + helpers.rstrip()
         + "\n"
     )

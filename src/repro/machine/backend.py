@@ -7,7 +7,13 @@ Two *pairs* of engines interpret the same inputs:
   reference interpreter (:mod:`repro.machine.interp`), ``numpy`` the
   batched array backend (:mod:`repro.machine.npbackend`), ``jit`` the
   compile-once kernel backend (:mod:`repro.machine.jit`) that lowers
-  each program to a cached fused-NumPy closure.
+  each program to a cached fused-NumPy closure, and ``native`` the
+  machine-code backend (:mod:`repro.machine.native`) that compiles
+  signature kernels with the system C toolchain — preferring the
+  vector-extension emitter on capable compilers (true aligned SIMD
+  against the 64-byte-aligned :class:`~repro.machine.memory.Memory`
+  buffers), silently falling back to the scalar-lane emitter
+  elsewhere.
 * **Scalar backends** (:class:`ScalarBackend`) execute the original
   :class:`~repro.ir.expr.Loop` as the paper's byte-for-byte reference
   — ``bytes`` is the per-iteration interpreter
@@ -402,7 +408,10 @@ def jit_compile_stats() -> dict:
     interpreter must not be forced to import it.  The jit engine's
     counters appear under their own names; the native engine's are
     folded in under a ``native_`` prefix (``native_cc_s``,
-    ``native_memory_hits``, …) so one snapshot covers both tiers.
+    ``native_memory_hits``, and since v4 the emitter-mode/probe and
+    batch-attribution counters ``native_mode_simd``,
+    ``native_simd_probes``, ``native_batch_marshal_us``, …) so one
+    snapshot covers both tiers.
     """
     import sys
 

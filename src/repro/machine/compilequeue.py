@@ -163,7 +163,8 @@ def compile_requests(requests, disk):
     so_path = work / f"tu_{batch_id}_{next(_SO_SEQ)}.so"
     start = time.perf_counter()
     proc = subprocess.run(
-        [cc, "-O3", "-shared", "-fPIC", "-o", str(so_path)]
+        [cc, *native.compiler_flags(), "-shared", "-fPIC",
+         "-o", str(so_path)]
         + [str(path) for path in c_paths],
         capture_output=True, text=True,
     )

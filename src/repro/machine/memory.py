@@ -4,11 +4,29 @@ The paper's target machines "support only loads and stores of
 register-length aligned memory": a vector load at address ``p`` ignores
 the low ``log2(V)`` address bits (AltiVec ``vec_ld``), and likewise for
 stores.  :class:`Memory` implements exactly that contract.
+
+The backing store is allocated through
+:func:`repro.machine.alignedbuf.aligned_view`, so byte 0 of every
+memory image sits on a 64-byte boundary.  Simulation never notices
+(addresses here are offsets), but the native tier's vector-extension
+kernels receive ``raw()`` zero-copy and promise the compiler that all
+V-truncated addresses are genuinely V-aligned — a promise that is only
+true if the base is.
 """
 
 from __future__ import annotations
 
 from repro.errors import MachineError
+from repro.machine.alignedbuf import aligned_view
+
+
+def _restore(size: int, data: bytes) -> "Memory":
+    """Pickle constructor: rebuild an aligned memory from its bytes."""
+    mem = Memory.__new__(Memory)
+    mem._data = aligned_view(size)
+    mem._data[:] = data
+    mem.size = size
+    return mem
 
 
 class Memory:
@@ -17,7 +35,7 @@ class Memory:
     def __init__(self, size: int, fill: int = 0xCD):
         if size <= 0:
             raise MachineError("memory size must be positive")
-        self._data = bytearray([fill]) * size if False else bytearray([fill] * size)
+        self._data = aligned_view(size, fill=fill)
         self.size = size
 
     # -- raw byte access ------------------------------------------------
@@ -50,13 +68,16 @@ class Memory:
 
     # -- helpers ---------------------------------------------------------
 
-    def raw(self) -> bytearray:
+    def raw(self) -> memoryview:
         """The live backing store, shared (not copied).
 
         Execution backends that wrap the memory in typed array views
-        (e.g. a NumPy ``uint8`` view) use this to mutate the same bytes
-        the byte-level accessors see, so both access paths stay
-        coherent within one run.
+        (e.g. a NumPy ``uint8`` view, or the native tier's ctypes
+        pointer) use this to mutate the same bytes the byte-level
+        accessors see, so both access paths stay coherent within one
+        run.  The view's base address is 64-byte aligned (see module
+        docstring); it is fixed-size, so whole-image restores go
+        through slice assignment (``raw()[:] = snapshot``).
         """
         return self._data
 
@@ -66,9 +87,15 @@ class Memory:
 
     def clone(self) -> "Memory":
         copy = Memory.__new__(Memory)
-        copy._data = bytearray(self._data)
+        copy._data = aligned_view(self.size)
+        copy._data[:] = self._data
         copy.size = self.size
         return copy
+
+    def __reduce__(self):
+        # memoryviews don't pickle; rebuild the aligned backing on load
+        # (sweep workers ship memories across process boundaries).
+        return (_restore, (self.size, bytes(self._data)))
 
     def _check(self, addr: int, nbytes: int) -> None:
         if addr < 0 or addr + nbytes > self.size:

@@ -74,6 +74,7 @@ import atexit
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -88,8 +89,10 @@ from repro.cache import get_cache
 from repro.errors import CodegenError, MachineError
 from repro.export.cgen import CEmitter
 from repro.export.portable import PortableBackend, kernel_unit_prelude
+from repro.ir.types import DataType
 from repro.faults import fault as _fault
 from repro.machine import compilequeue, interp, jit, npbackend
+from repro.machine.alignedbuf import ALIGNMENT, aligned_view, as_ctypes_u8
 from repro.machine import vector as vec
 from repro.machine.counters import (
     BRANCH,
@@ -121,7 +124,10 @@ from repro.vir.vstmt import SetS, SetV, VStoreS
 #: ``simdal_steady_<digest>`` symbols (batched translation units).
 #: v3: whole-run ``simdal_run_<digest>`` (lowered prologue/epilogue
 #: sections) and the class batch driver ``simdal_steady_batch_<digest>``.
-NATIVE_CODE_VERSION = 3
+#: v4: two emitter modes (scalar-lane / vector-extension), ``restrict``
+#: parameters, aligned ``_a`` loads/stores backed by the aligned-buffer
+#: marshalling, and batch-row segments padded to the buffer alignment.
+NATIVE_CODE_VERSION = 4
 
 #: Compile/cache counters (process-wide; surfaced with a ``native_``
 #: prefix by :func:`repro.machine.backend.jit_compile_stats`).
@@ -146,6 +152,16 @@ STATS = {
     "whole_runs": 0,       # accepted runs executed as one C call end-to-end
     "batch_calls": 0,      # class batch-driver invocations (one per class)
     "batch_rows": 0,       # runs carried by those batch-driver calls
+    "simd_kernels": 0,     # kernels emitted for the vector-ext prelude
+    "scalar_kernels": 0,   # kernels emitted for the scalar-lane prelude
+    "simd_probes": 0,      # vector-extension capability probes compiled
+    "simd_probe_failures": 0,  # probes the toolchain rejected
+    "flag_probes": 0,      # -march=native flag probes compiled
+    "mode_simd": 0,        # cold acquisitions keyed in vector-ext mode
+    "mode_scalar": 0,      # cold acquisitions keyed in scalar-lane mode
+    "batch_marshal_us": 0,  # µs marshalling rows for batch/run drivers
+    "batch_copy_us": 0,    # µs in the flat gather/scatter memory copies
+    "batch_c_us": 0,       # µs inside the C batch driver itself
 }
 
 #: Prefix of every steady-loop kernel symbol; the per-signature name
@@ -320,6 +336,18 @@ class _KernelEmitter:
         self.bad_amounts: list = []
         self.assign_pos: dict[str, int] = {}
         self._sect_cursor = 0
+        # Alignment suffixes for load/store helpers.  Buffer bases
+        # (mem, vregs, cvec, batch-row segments) come from the aligned
+        # allocator, and every emitted offset — window/section bases
+        # (V-truncated) and vregs/cvec slots (k*V) — is a multiple of
+        # V, so slot accesses (_av) are V-aligned whenever V divides
+        # the allocator's ALIGNMENT; window accesses (_aw) additionally
+        # need the iteration stride to preserve the residue.  Both hold
+        # for every current configuration; the guards keep a future
+        # exotic V safe rather than fast.
+        buf_aligned = self.V <= ALIGNMENT and ALIGNMENT % self.V == 0
+        self._av = "_a" if buf_aligned else ""
+        self._aw = "_a" if buf_aligned and self.stride % self.V == 0 else ""
 
     def slot(self, reg: str) -> int:
         idx = self._slot.get(reg)
@@ -354,7 +382,7 @@ class _KernelEmitter:
 
     def vexpr(self, expr: VExpr, pos: int) -> str:
         if isinstance(expr, VLoadE):
-            return f"simdal_load({self._window(expr.addr)})"
+            return f"simdal_load{self._aw}({self._window(expr.addr)})"
         if isinstance(expr, VRegE):
             defining = self.assign_pos.get(expr.name)
             if defining is None or defining >= pos:
@@ -365,11 +393,17 @@ class _KernelEmitter:
         if isinstance(expr, VShiftPairE):
             a = self.vexpr(expr.a, pos)
             b = self.vexpr(expr.b, pos)
+            if isinstance(expr.shift, int) and 0 <= expr.shift <= self.V:
+                # Literal amount: the _c macro is a compile-time byte
+                # shuffle in vector-ext mode (a plain call otherwise).
+                return f"simdal_shiftpair_c({a}, {b}, {expr.shift})"
             s = self._amount(expr.shift, "shift")
             return f"simdal_shiftpair({a}, {b}, {s})"
         if isinstance(expr, VSpliceE):
             a = self.vexpr(expr.a, pos)
             b = self.vexpr(expr.b, pos)
+            if isinstance(expr.point, int) and 0 <= expr.point <= self.V:
+                return f"simdal_splice_c({a}, {b}, {expr.point})"
             p = self._amount(expr.point, "point")
             return f"simdal_splice({a}, {b}, {p})"
         if isinstance(expr, VSplatE):
@@ -380,7 +414,7 @@ class _KernelEmitter:
             if idx is None:
                 idx = self._splat_idx[key] = len(self.splats)
                 self.splats.append(key)
-            return f"simdal_load(cvec + {idx * self.V})"
+            return f"simdal_load{self._av}(cvec + {idx * self.V})"
         if isinstance(expr, VIotaE):
             if expr.dtype != self.dtype:
                 raise _CantEmit("iota dtype differs from the loop dtype")
@@ -410,18 +444,18 @@ class _KernelEmitter:
     def _sect_vexpr(self, expr: VExpr) -> str:
         if isinstance(expr, VLoadE):
             # The marshaller slots the truncated, bounds-checked base.
-            return f"simdal_load(mem + {self._sect_slot()})"
+            return f"simdal_load{self._av}(mem + {self._sect_slot()})"
         if isinstance(expr, VRegE):
-            return f"simdal_load(vregs + {self.slot(expr.name) * self.V})"
+            return (f"simdal_load{self._av}"
+                    f"(vregs + {self.slot(expr.name) * self.V})")
         if isinstance(expr, VShiftPairE):
             a = self._sect_vexpr(expr.a)
             b = self._sect_vexpr(expr.b)
             if isinstance(expr.shift, int):
                 if not 0 <= expr.shift <= self.V:
                     raise _CantEmit("section shift outside [0, V]")
-                s = str(expr.shift)
-            else:
-                s = self._sect_slot()
+                return f"simdal_shiftpair_c({a}, {b}, {expr.shift})"
+            s = self._sect_slot()
             return f"simdal_shiftpair({a}, {b}, {s})"
         if isinstance(expr, VSpliceE):
             a = self._sect_vexpr(expr.a)
@@ -429,9 +463,8 @@ class _KernelEmitter:
             if isinstance(expr.point, int):
                 if not 0 <= expr.point <= self.V:
                     raise _CantEmit("section point outside [0, V]")
-                p = str(expr.point)
-            else:
-                p = self._sect_slot()
+                return f"simdal_splice_c({a}, {b}, {expr.point})"
+            p = self._sect_slot()
             return f"simdal_splice({a}, {b}, {p})"
         if isinstance(expr, VSplatE):
             if expr.dtype != self.dtype:
@@ -457,16 +490,17 @@ class _KernelEmitter:
                 continue  # scalar registers live in the marshaller only
             if isinstance(stmt, SetV):
                 if stmt.is_copy:
-                    src = (f"simdal_load(vregs + "
+                    src = (f"simdal_load{self._av}(vregs + "
                            f"{self.slot(stmt.expr.name) * V})")
                 else:
                     src = self._sect_vexpr(stmt.expr)
-                lines.append(f"        simdal_store(vregs + "
+                lines.append(f"        simdal_store{self._av}(vregs + "
                              f"{self.slot(stmt.reg) * V}, {src});")
             elif isinstance(stmt, VStoreS):
                 text = self._sect_vexpr(stmt.src)
                 lines.append(
-                    f"        simdal_store(mem + {self._sect_slot()}, {text});"
+                    f"        simdal_store{self._av}"
+                    f"(mem + {self._sect_slot()}, {text});"
                 )
             else:
                 raise _CantEmit(f"no C lowering for {type(stmt).__name__}")
@@ -502,10 +536,12 @@ class _KernelEmitter:
         pad = " " * (len(symbol) + 6)
         lines = [
             f"SIMDAL_NOINLINE",
-            f"void {symbol}(uint8_t *mem, int64_t lb, int64_t n,",
-            f"{pad}const int64_t *wb, const int64_t *scal,",
-            f"{pad}const uint8_t *cvec, uint8_t *vregs,",
-            f"{pad}const int64_t *sect) {{",
+            f"void {symbol}(uint8_t *restrict mem, int64_t lb, int64_t n,",
+            f"{pad}const int64_t *restrict wb,",
+            f"{pad}const int64_t *restrict scal,",
+            f"{pad}const uint8_t *restrict cvec,",
+            f"{pad}uint8_t *restrict vregs,",
+            f"{pad}const int64_t *restrict sect) {{",
             "    (void)sect;",
         ]
         for block in pro_blocks:
@@ -532,6 +568,9 @@ class _KernelEmitter:
             f"{pad}const int64_t *wb, const int64_t *scal,",
             f"{pad}const uint8_t *cvec, uint8_t *vregs,",
             f"{pad}const int64_t *sect) {{",
+            "    /* lbn mem offsets are padded to the allocator alignment",
+            "       by the Python gather, so each row's mem base keeps the",
+            "       alignment promise simdal_run's loads rely on. */",
             "    for (int64_t r = 0; r < rows; r++) {",
             f"        {rsym}(mem + lbn[3 * r], lbn[3 * r + 1], "
             f"lbn[3 * r + 2],",
@@ -558,7 +597,8 @@ class _KernelEmitter:
             elif isinstance(stmt, VStoreS):
                 text = self.vexpr(stmt.src, pos)
                 body.append(
-                    f"        simdal_store({self._window(stmt.addr)}, {text});"
+                    f"        simdal_store{self._aw}"
+                    f"({self._window(stmt.addr)}, {text});"
                 )
             else:
                 raise _CantEmit(f"no C lowering for {type(stmt).__name__}")
@@ -567,9 +607,11 @@ class _KernelEmitter:
         pad = " " * (len(symbol) + 6)
         lines = [
             f"SIMDAL_NOINLINE",
-            f"void {symbol}(uint8_t *mem, int64_t lb, int64_t n,",
-            f"{pad}const int64_t *wb, const int64_t *scal,",
-            f"{pad}const uint8_t *cvec, uint8_t *vregs) {{",
+            f"void {symbol}(uint8_t *restrict mem, int64_t lb, int64_t n,",
+            f"{pad}const int64_t *restrict wb,",
+            f"{pad}const int64_t *restrict scal,",
+            f"{pad}const uint8_t *restrict cvec,",
+            f"{pad}uint8_t *restrict vregs) {{",
             "    (void)lb; (void)wb; (void)scal; (void)cvec; (void)vregs;",
         ]
         for k in range(len(self.names)):
@@ -577,7 +619,7 @@ class _KernelEmitter:
         for name in self.seeds:
             lines.append(
                 f"    v{self.slot(name)} = "
-                f"simdal_load(vregs + {self.slot(name) * V});"
+                f"simdal_load{self._av}(vregs + {self.slot(name) * V});"
             )
         lines.append("    for (int64_t t = 0; t < n; t++) {")
         lines.append(f"        int64_t i = lb + t * {self.spec.step};")
@@ -670,6 +712,8 @@ def build_request(signature: str, key: str, jk: jit._Kernel,
     except _CantEmit:
         return None
     STATS["codegens"] += 1
+    simd = simd_enabled()
+    STATS["simd_kernels" if simd else "scalar_kernels"] += 1
     dtype = program.source.dtype
     return compilequeue.CompileRequest(
         signature=signature,
@@ -678,7 +722,7 @@ def build_request(signature: str, key: str, jk: jit._Kernel,
         V=jk.spec.V,
         lane=dtype.name,
         kernel_src=kernel_src,
-        prelude=kernel_unit_prelude(jk.spec.V, dtype),
+        prelude=kernel_unit_prelude(jk.spec.V, dtype, simd=simd),
         meta=meta,
         jk=jk,
     )
@@ -734,17 +778,171 @@ def _compiler_identity() -> tuple[str | None, str]:
     return _CC[1]
 
 
+# ---------------------------------------------------------------------------
+# Compiler flags and the vector-extension capability probe
+# ---------------------------------------------------------------------------
+
+#: Memoized flag resolution: ((cc env request, REPRO_CC_FLAGS value),
+#: flags tuple).  Keyed on both envs so changing either mid-process
+#: re-probes instead of serving a stale answer (same doctrine as _CC).
+_FLAGS: tuple[tuple[str, str | None], tuple[str, ...]] | None = None
+
+#: Memoized vector-extension capability: (same env key, supported?).
+_SIMD: tuple[tuple[str, str | None], bool] | None = None
+
+#: Test/bench override for the emitter mode (None = env + probe).
+_SIMD_OVERRIDE: bool | None = None
+
+_MARCH_PROBE_SRC = "int simdal_flag_probe;\n"
+
+
+def _flags_env() -> str | None:
+    return os.environ.get("REPRO_CC_FLAGS")
+
+
+def _env_key() -> tuple[str, str | None]:
+    return (_cc_env(), _flags_env())
+
+
+def _try_compile(cc: str, args: list, source: str, stem: str) -> bool:
+    """One syntax-only probe invocation: does ``cc args source`` fly?"""
+    path = _workdir() / f"{stem}.c"
+    try:
+        path.write_text(source)
+        proc = subprocess.run(
+            [cc, *args, "-fsyntax-only", str(path)],
+            capture_output=True, text=True, timeout=60,
+        )
+        return proc.returncode == 0
+    except Exception:
+        return False
+
+
+def compiler_flags() -> tuple[str, ...]:
+    """The optimization flags every native cc invocation uses.
+
+    ``-O3`` always; then ``-march=native`` when the toolchain accepts
+    it (probed once with a trivial unit), *unless* ``REPRO_CC_FLAGS``
+    is set — the env value (shell-split, appended after ``-O3``)
+    replaces the probed default entirely, so it is both an extension
+    point and the opt-out.  Memoized, keyed on the compiler/flags env
+    pair; :func:`reset_compiler_cache` clears it.
+    """
+    global _FLAGS
+    key = _env_key()
+    if _FLAGS is not None and _FLAGS[0] == key:
+        return _FLAGS[1]
+    flags = ["-O3"]
+    requested = _flags_env()
+    if requested is not None:
+        flags += shlex.split(requested)
+    else:
+        cc, _ = _compiler_identity()
+        if cc is not None:
+            STATS["flag_probes"] += 1
+            if _try_compile(cc, ["-O3", "-march=native"],
+                            _MARCH_PROBE_SRC, "probe_march"):
+                flags.append("-march=native")
+    _FLAGS = (key, tuple(flags))
+    return _FLAGS[1]
+
+
+def _simd_probe_source() -> str:
+    """A tiny TU exercising every vector-extension idiom the emitter
+    relies on (vector_size types, __builtin_shufflevector, vector
+    compares/selects, __builtin_assume_aligned)."""
+    from repro.export.portable import kernel_unit_prelude as _prelude
+
+    dtype = DataType("int16", 2, True)
+    return _prelude(16, dtype, simd=True) + (
+        "simdal_vec simdal_simd_probe(simdal_vec a, simdal_vec b,\n"
+        "                             int64_t k) {\n"
+        "    simdal_vec r = simdal_op_add(simdal_shiftpair_c(a, b, 3),\n"
+        "                                 simdal_splice_c(a, b, 5));\n"
+        "    r = simdal_op_min(r, simdal_op_sadd(a, simdal_op_ssub(a, b)));\n"
+        "    r = simdal_op_avg(r, simdal_op_max(a, b));\n"
+        "    r = simdal_shiftpair(r, simdal_splice(a, b, k), k);\n"
+        "    r = simdal_op_mul(r, simdal_splat(k));\n"
+        "    uint8_t buf[SIMDAL_V] __attribute__((aligned(64)));\n"
+        "    simdal_store_a(buf, r);\n"
+        "    return simdal_op_xor(simdal_load_a(buf), simdal_iota(k));\n"
+        "}\n"
+    )
+
+
+def simd_supported() -> bool:
+    """Can the resolved compiler build the vector-extension helpers?
+
+    Probed once per (compiler, flags) resolution by compiling a test
+    unit that uses every idiom the SIMD emitter emits; GCC < 12 (no
+    ``__builtin_shufflevector``) and non-GNU compilers fail it and the
+    tier silently stays on the scalar-lane emitter.  Memoized alongside
+    the compiler identity; :func:`reset_compiler_cache` clears it.
+    """
+    global _SIMD
+    key = _env_key()
+    if _SIMD is not None and _SIMD[0] == key:
+        return _SIMD[1]
+    cc, _ = _compiler_identity()
+    ok = False
+    if cc is not None:
+        STATS["simd_probes"] += 1
+        ok = _try_compile(cc, list(compiler_flags()), _simd_probe_source(),
+                          "probe_simd")
+        if not ok:
+            STATS["simd_probe_failures"] += 1
+    _SIMD = (key, ok)
+    return ok
+
+
+def simd_enabled() -> bool:
+    """Is the vector-extension emitter active for new kernels?
+
+    ``set_simd_mode`` overrides win; then ``REPRO_NATIVE_SIMD=0``
+    forces scalar-lane; otherwise the capability probe decides.
+    """
+    if _SIMD_OVERRIDE is not None:
+        return _SIMD_OVERRIDE
+    if os.environ.get("REPRO_NATIVE_SIMD", "") == "0":
+        return False
+    return simd_supported()
+
+
+def emitter_mode() -> str:
+    """``"vector-ext"`` or ``"scalar-lane"`` — the active emitter."""
+    return "vector-ext" if simd_enabled() else "scalar-lane"
+
+
+def set_simd_mode(value: bool | None) -> None:
+    """Force the emitter mode for this process (None = env + probe).
+
+    Flips what *new* kernels are compiled from, so the in-process
+    kernel cache is dropped — the disk key embeds the mode, so objects
+    of both modes coexist on disk without cross-loading.  Forcing True
+    on a host whose compiler fails the probe makes every compile fail
+    (and degrade to jit); benches check :func:`simd_supported` first.
+    """
+    global _SIMD_OVERRIDE
+    _SIMD_OVERRIDE = value
+    _NATIVE_CACHE.clear()
+
+
 def reset_compiler_cache() -> None:
-    """Forget the memoized compiler probe and memoized cc failures.
+    """Forget the memoized compiler/flag/capability probes and cc
+    failures.
 
     A fault-injected or transient toolchain failure must not poison
     later legitimate compiles in the same process: after repairing the
-    toolchain (or pointing ``REPRO_CC`` somewhere sane) call this to
-    retry cold.  The warn-once flag survives — one missing-compiler
-    warning per process is enough.
+    toolchain (or pointing ``REPRO_CC``/``REPRO_CC_FLAGS`` somewhere
+    sane) call this to retry cold.  Clears the flag resolution and the
+    vector-extension capability probe along with the compiler identity
+    — they are functions of the same toolchain.  The warn-once flag
+    survives — one missing-compiler warning per process is enough.
     """
-    global _CC
+    global _CC, _FLAGS, _SIMD
     _CC = None
+    _FLAGS = None
+    _SIMD = None
     _FAILED.clear()
 
 
@@ -849,8 +1047,21 @@ _FAILED: dict[str, str] = {}
 def _disk_key(signature: str, cc_identity: str) -> str:
     from repro import __version__
 
+    # The emitter mode and the exact flag set are part of the object's
+    # identity: a scalar-lane .so must never satisfy a vector-ext
+    # lookup (or vice versa), and objects built with different flags
+    # (-march, REPRO_CC_FLAGS) must not cross-load either.
+    if simd_enabled():
+        mode = "simd"
+        STATS["mode_simd"] += 1
+    else:
+        mode = "scalar"
+        STATS["mode_scalar"] += 1
+    flags = hashlib.sha256(
+        "\0".join(compiler_flags()).encode()
+    ).hexdigest()[:8]
     return (f"native-kernel:{__version__}:{NATIVE_CODE_VERSION}:"
-            f"{cc_identity}:{signature}")
+            f"{cc_identity}:{mode}:{flags}:{signature}")
 
 
 def _cache_put(signature: str, kernel: _NativeKernel) -> None:
@@ -1060,8 +1271,13 @@ class _InvokePlan:
                 consts += vec.vsplat(dtype.wrap(operand.value), dtype, V)
             self.cvec_const = bytes(consts)
             self.splats_dyn = None
-            padded = consts if consts else bytearray(1)
-            self.c_cvec_const = _u8_array(len(padded))(*padded)
+            # The persistent ctypes array lives over an aligned view
+            # (as_ctypes_u8 keeps the view, and thus the backing,
+            # alive), so warm invokes hand the kernel a V-aligned cvec
+            # base without copying.
+            buf = aligned_view(max(1, len(consts)))
+            buf[:len(consts)] = consts
+            self.c_cvec_const = as_ctypes_u8(buf)
         else:
             self.splats_dyn = meta.splats
             self.cvec_const = None
@@ -1135,9 +1351,10 @@ def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
     if plan.c_cvec_const is not None:
         c_cvec = plan.c_cvec_const
     else:
-        consts = bytearray(cvec) if cvec else bytearray(1)
-        c_cvec = _u8_array(len(consts)).from_buffer(consts)
-    vregs = bytearray(plan.vregs_len)
+        cbuf = aligned_view(max(1, len(cvec)))
+        cbuf[:len(cvec)] = cvec
+        c_cvec = as_ctypes_u8(cbuf)
+    vregs = aligned_view(plan.vregs_len)
     for name, offset in plan.seed_offsets:
         vregs[offset:offset + V] = interp._read_vreg(env, name)
 
@@ -1149,8 +1366,8 @@ def _invoke(kernel: _NativeKernel, env: interp._Env, lb: int, n: int) -> None:
     try:
         kernel.cfn(c_mem, lb, n, c_wb, c_scal, c_cvec, c_vregs)
     finally:
-        # Release the buffer exports so the bytearrays stay resizable
-        # and snapshot-restorable for callers.
+        # Release the buffer exports promptly (the memory view export
+        # in particular must not outlive the call).
         del c_mem, c_vregs, c_cvec
     for name, offset in plan.out_offsets:
         env.vregs[name] = bytes(vregs[offset:offset + V])
@@ -1412,7 +1629,7 @@ def _marshal_run(kernel: _NativeKernel, env: interp._Env) -> _Row:
     for name in written:
         if name not in offsets:
             raise _Bail  # defensive: register without a vregs slot
-    vregs = bytearray(plan.nv_stride)
+    vregs = aligned_view(plan.nv_stride)
     for name, value in shadow.vregs.items():
         offset = offsets.get(name)
         if offset is not None:
@@ -1440,10 +1657,11 @@ def _call_run(kernel: _NativeKernel, env: interp._Env, row: _Row) -> None:
     """The ctypes whole-run call + commit for one marshalled row."""
     mem_buf = env.mem.raw()
     c_mem = _u8_array(len(mem_buf)).from_buffer(mem_buf)
-    vregs = row.vregs if row.vregs else bytearray(1)
+    vregs = row.vregs if len(row.vregs) else aligned_view(1)
     c_vregs = _u8_array(len(vregs)).from_buffer(vregs)
-    cvec = bytearray(row.cvec) if row.cvec else bytearray(1)
-    c_cvec = _u8_array(len(cvec)).from_buffer(cvec)
+    cvec = aligned_view(max(1, len(row.cvec)))
+    cvec[:len(row.cvec)] = row.cvec
+    c_cvec = as_ctypes_u8(cvec)
     c_wb = _i64_array(max(1, len(row.wb)))(*row.wb)
     c_scal = _i64_array(max(1, len(row.scal)))(*row.scal)
     c_sect = _i64_array(max(1, len(row.sect)))(*row.sect)
@@ -1474,51 +1692,62 @@ def _invoke_batch(kernel: _NativeKernel, rows: list) -> None:
     mem base), fires ``simdal_steady_batch`` once, then scatters the
     segments and per-row vregs back.  Callers commit registers and
     counters per row afterwards.
+
+    The flat image, vregs block, and cvec block all come from
+    :func:`aligned_view`, and every row's segment offset is rounded up
+    to :data:`ALIGNMENT` — so each row's mem/vregs/cvec base keeps the
+    V-alignment promise the kernels were compiled against.  The gather
+    and scatter copy the whole memory image of every row (O(total
+    mem), unlike the zero-copy per-iter path); ``batch_copy_us`` vs
+    ``batch_c_us`` attribute that cost in ``--profile``.
     """
     plan = _plan_for(kernel)
+    t0 = time.perf_counter()
     sizes = [env.mem.size for env, _ in rows]
     offsets: list = []
     total = 0
     for size in sizes:
         offsets.append(total)
-        total += size
-    flat = bytearray(total)
+        total += -(-size // ALIGNMENT) * ALIGNMENT
+    flat = aligned_view(max(1, total))
     for (env, _), offset, size in zip(rows, offsets, sizes):
         flat[offset:offset + size] = env.mem.raw()
     lbn: list = []
     wb: list = []
     scal: list = []
     sect: list = []
-    cvec = bytearray()
-    vregs = bytearray()
-    for (env, row), offset in zip(rows, offsets):
+    stride = plan.nv_stride
+    vregs = aligned_view(max(1, stride * len(rows)))
+    cvec = aligned_view(max(1, plan.nc * len(rows)))
+    for idx, ((env, row), offset) in enumerate(zip(rows, offsets)):
         lbn += (offset, row.lb, row.n)
         wb += row.wb
         scal += row.scal
         sect += row.sect
-        cvec += row.cvec
-        vregs += row.vregs
-    flat_buf = flat if flat else bytearray(1)
-    vregs_buf = vregs if vregs else bytearray(1)
-    cvec_buf = cvec if cvec else bytearray(1)
-    c_mem = _u8_array(len(flat_buf)).from_buffer(flat_buf)
-    c_vregs = _u8_array(len(vregs_buf)).from_buffer(vregs_buf)
-    c_cvec = _u8_array(len(cvec_buf)).from_buffer(cvec_buf)
+        cvec[idx * plan.nc:(idx + 1) * plan.nc] = row.cvec
+        vregs[idx * stride:(idx + 1) * stride] = row.vregs
+    c_mem = as_ctypes_u8(flat)
+    c_vregs = as_ctypes_u8(vregs)
+    c_cvec = as_ctypes_u8(cvec)
     c_lbn = _i64_array(len(lbn))(*lbn)
     c_wb = _i64_array(max(1, len(wb)))(*wb)
     c_scal = _i64_array(max(1, len(scal)))(*scal)
     c_sect = _i64_array(max(1, len(sect)))(*sect)
+    t1 = time.perf_counter()
     try:
         kernel.bcfn(c_mem, len(rows), c_lbn, c_wb, c_scal, c_cvec,
                     c_vregs, c_sect)
     finally:
         del c_mem, c_vregs, c_cvec
+    t2 = time.perf_counter()
     for (env, _), offset, size in zip(rows, offsets, sizes):
         env.mem.raw()[:] = flat[offset:offset + size]
-    stride = plan.nv_stride
     if stride:
         for idx, (_env, row) in enumerate(rows):
             row.vregs = vregs[idx * stride:(idx + 1) * stride]
+    t3 = time.perf_counter()
+    STATS["batch_copy_us"] += int((t1 - t0 + t3 - t2) * 1e6)
+    STATS["batch_c_us"] += int((t2 - t1) * 1e6)
 
 
 # ---------------------------------------------------------------------------
@@ -1560,11 +1789,13 @@ class NativeBackend(JitBackend):
             return super()._batch_finish(live, results, kernel)
         rows: list = []
         classic: list = []
+        t0 = time.perf_counter()
         for i, env in live:
             try:
                 rows.append((i, env, _marshal_run(kernel, env)))
             except _Bail:
                 classic.append((i, env))
+        STATS["batch_marshal_us"] += int((time.perf_counter() - t0) * 1e6)
         if len(rows) == 1:
             # Singleton classes skip the flat gather/scatter copy.
             i, env, row = rows[0]
@@ -1604,6 +1835,7 @@ class NativeBackend(JitBackend):
             return fell
         rows: list = []
         solo: list = []
+        t0 = time.perf_counter()
         for i, env in live:
             steady = env.program.steady
             lb = interp._eval_s(env, steady.lb)
@@ -1617,7 +1849,7 @@ class NativeBackend(JitBackend):
                 continue
             try:
                 wb, scal, cvec = _steady_tables(kernel, env, lb, n)
-                vregs = bytearray(plan.nv_stride)
+                vregs = aligned_view(plan.nv_stride)
                 for name, offset in plan.seed_offsets:
                     vregs[offset:offset + V] = interp._read_vreg(env, name)
             except jit._Unbatchable:
@@ -1630,6 +1862,7 @@ class NativeBackend(JitBackend):
             rows.append((i, env,
                          _Row(None, lb, n, list(wb), scal, cvec,
                               [0] * plan.nsect, vregs, ())))
+        STATS["batch_marshal_us"] += int((time.perf_counter() - t0) * 1e6)
         if len(rows) == 1:
             i, env, row = rows[0]
             solo.append((i, env, row.lb, row.lb + row.n * spec.step))

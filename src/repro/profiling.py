@@ -102,6 +102,26 @@ class PhaseProfile:
         if evictions:
             lines.append(f"  disk cache     {evictions} evictions "
                          f"(REPRO_CACHE_MAX_BYTES)")
+        mode_simd = self.counts.get("native_mode_simd", 0)
+        mode_scalar = self.counts.get("native_mode_scalar", 0)
+        if mode_simd or mode_scalar:
+            # Kernel acquisitions per emitter mode (disk-key
+            # resolutions, so warm loads count too) plus the probe
+            # outcomes that picked the mode.
+            mode = "vector-ext" if mode_simd >= mode_scalar else "scalar-lane"
+            line = (f"native emitter: {mode} "
+                    f"({mode_simd} vector-ext / {mode_scalar} scalar-lane "
+                    f"kernel acquisitions)")
+            probes = self.counts.get("native_simd_probes", 0)
+            failures = self.counts.get("native_simd_probe_failures", 0)
+            if probes:
+                line += f", {probes} simd probe{'s' if probes != 1 else ''}"
+                if failures:
+                    line += f" ({failures} failed)"
+            flag_probes = self.counts.get("native_flag_probes", 0)
+            if flag_probes:
+                line += f", {flag_probes} flag probe{'s' if flag_probes != 1 else ''}"
+            lines.append(line)
         invocations = self.counts.get("native_cc_invocations", 0)
         if invocations:
             kernels = self.counts.get("native_tu_kernels", 0)
@@ -139,6 +159,20 @@ class PhaseProfile:
                     f"call{'s' if batch_calls != 1 else ''} covering "
                     f"{batch_rows} configs, {whole_runs} whole-run calls"
                 )
+                marshal_us = self.counts.get("native_batch_marshal_us", 0)
+                copy_us = self.counts.get("native_batch_copy_us", 0)
+                c_us = self.counts.get("native_batch_c_us", 0)
+                if marshal_us or copy_us or c_us:
+                    # Attribution of where batched-class wall time goes:
+                    # Python-side marshalling, the O(total-mem) flat
+                    # gather/scatter copies, and the C driver itself —
+                    # the copy share explains why small-memory classes
+                    # can run slower batched than per-iter.
+                    lines.append(
+                        f"    marshal {marshal_us / 1e3:.1f} ms, "
+                        f"gather/scatter {copy_us / 1e3:.1f} ms, "
+                        f"C driver {c_us / 1e3:.1f} ms"
+                    )
         resilience = []
         degraded_to = sorted(
             k for k in self.counts if k.startswith("degraded_to_")

@@ -1,0 +1,150 @@
+"""Unit tests for the aligned-buffer helper behind the native tier.
+
+The vector-extension emitter promises the C compiler
+(`__builtin_assume_aligned`) that every buffer base it receives is
+V-aligned; these tests pin the three properties that make the promise
+safe — alignment of every view :func:`aligned_view` hands out (and of
+every ``Memory`` built on top of it), resize-safety of the backing
+while a view is live, and zero-copy identity through
+:func:`as_ctypes_u8` (the ctypes array *is* the view's memory, not a
+copy).  Pure stdlib: no numpy, no compiler.
+"""
+
+import ctypes
+import pickle
+
+import pytest
+
+from repro.machine import Memory
+from repro.machine.alignedbuf import (
+    ALIGNMENT,
+    address_of,
+    aligned_view,
+    as_ctypes_u8,
+    is_aligned,
+)
+
+
+class TestAlignedView:
+    @pytest.mark.parametrize("size", [0, 1, 7, 64, 253, 4096, 65537])
+    def test_default_alignment(self, size):
+        view = aligned_view(size)
+        assert len(view) == size
+        assert is_aligned(view)
+        if size:
+            assert address_of(view) % ALIGNMENT == 0
+
+    @pytest.mark.parametrize("align", [1, 2, 16, 64, 256, 4096])
+    def test_custom_alignment(self, align):
+        view = aligned_view(100, align=align)
+        assert address_of(view) % align == 0
+
+    def test_alignment_must_be_power_of_two(self):
+        for bad in (0, -64, 3, 48, 100):
+            with pytest.raises(ValueError):
+                aligned_view(16, align=bad)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            aligned_view(-1)
+
+    def test_fill_initializes_every_byte(self):
+        view = aligned_view(37, fill=0xAB)
+        assert view.tobytes() == b"\xab" * 37
+
+    def test_default_content_is_zeroed(self):
+        assert aligned_view(37).tobytes() == b"\x00" * 37
+
+    def test_view_is_writable(self):
+        view = aligned_view(8)
+        view[3] = 0x5A
+        view[4:6] = b"\x01\x02"
+        assert view.tobytes() == b"\x00\x00\x00\x5a\x01\x02\x00\x00"
+
+    def test_many_allocations_all_aligned(self):
+        # Exercise a range of payload addresses: alignment must come
+        # from the offset computation, not allocator luck.
+        views = [aligned_view(n) for n in range(1, 128)]
+        assert all(is_aligned(v) for v in views)
+
+    def test_alignment_beyond_default_quantum(self):
+        view = aligned_view(16, align=8192)
+        assert address_of(view) % 8192 == 0
+
+
+class TestResizeSafety:
+    def test_backing_cannot_resize_while_view_live(self):
+        view = aligned_view(16)
+        backing = view.obj
+        assert isinstance(backing, bytearray)
+        with pytest.raises(BufferError):
+            backing.extend(b"\x00")
+        with pytest.raises(BufferError):
+            backing.clear()
+        # The view is still intact and writable after the refused
+        # resize attempts.
+        view[0] = 1
+        assert view[0] == 1
+
+    def test_ctypes_export_also_pins_backing(self):
+        view = aligned_view(16)
+        arr = as_ctypes_u8(view)
+        with pytest.raises(BufferError):
+            view.obj.extend(b"\x00")
+        arr[0] = 9
+        assert view[0] == 9
+
+
+class TestZeroCopyIdentity:
+    def test_ctypes_array_shares_address(self):
+        view = aligned_view(64)
+        arr = as_ctypes_u8(view)
+        assert ctypes.addressof(arr) == address_of(view)
+        assert ctypes.addressof(arr) % ALIGNMENT == 0
+
+    def test_mutations_visible_both_ways(self):
+        view = aligned_view(8)
+        arr = as_ctypes_u8(view)
+        arr[2] = 0x7F
+        assert view[2] == 0x7F
+        view[5] = 0x33
+        assert arr[5] == 0x33
+
+    def test_empty_view_gets_detached_array(self):
+        view = aligned_view(0)
+        arr = as_ctypes_u8(view)
+        assert len(arr) == 1
+        arr[0] = 0xFF  # scratch byte, not backed by the view
+
+
+class TestIsAligned:
+    def test_zero_length_counts_as_aligned(self):
+        assert is_aligned(memoryview(bytearray())[0:0])
+
+    def test_misaligned_slice_detected(self):
+        view = aligned_view(ALIGNMENT * 2)
+        assert is_aligned(view)
+        assert not is_aligned(view[1:])
+        assert is_aligned(view[ALIGNMENT:])
+
+
+class TestMemoryAlignment:
+    def test_memory_raw_is_aligned(self):
+        mem = Memory(1000)
+        assert is_aligned(mem.raw())
+
+    def test_clone_preserves_alignment_and_content(self):
+        mem = Memory(256)
+        mem.raw()[:4] = b"\x01\x02\x03\x04"
+        dup = mem.clone()
+        assert is_aligned(dup.raw())
+        assert dup.snapshot() == mem.snapshot()
+        dup.raw()[0] = 0xEE
+        assert mem.raw()[0] == 0x01  # clones don't share storage
+
+    def test_pickle_roundtrip_stays_aligned(self):
+        mem = Memory(128, fill=0x42)
+        mem.raw()[7] = 0x99
+        back = pickle.loads(pickle.dumps(mem))
+        assert back.snapshot() == mem.snapshot()
+        assert is_aligned(back.raw())
