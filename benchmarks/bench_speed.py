@@ -895,8 +895,15 @@ def test_backend_speed():
     }
     from repro.reporting import atomic_write_text
 
-    atomic_write_text(ROOT / "BENCH_interp.json",
-                      json.dumps(payload, indent=2) + "\n")
+    # Merge instead of overwrite: sections owned by other harnesses
+    # (e.g. "serve" from bench_serve.py) must survive a speed re-run.
+    bench_path = ROOT / "BENCH_interp.json"
+    try:
+        merged = json.loads(bench_path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(payload)
+    atomic_write_text(bench_path, json.dumps(merged, indent=2) + "\n")
 
     lines = [
         f"engine.run over {len(workloads)} programs (trip {SPEED_TRIP}, "

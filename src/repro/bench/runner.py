@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import random
+import signal
 import sys
 import time
 from collections import OrderedDict, deque
@@ -46,7 +47,7 @@ from repro import faults
 from repro.bench.lowerbound import LowerBound, lower_bound, seq_opd
 from repro.bench.synth import SynthParams, SynthesizedLoop, synthesize
 from repro.cache import current_cache_dir, get_cache, set_cache_dir
-from repro.errors import BenchError, WorkerError
+from repro.errors import BenchError, SweepInterrupted, WorkerError
 from repro.machine.backend import numpy_available
 from repro.machine.scalar import RunBindings
 from repro.profiling import PhaseProfile, timed
@@ -439,6 +440,51 @@ class _Task:
     attempt: int = 0
 
 
+# ---------------------------------------------------------------------------
+# Graceful sweep interruption (checkpointed sweeps only)
+# ---------------------------------------------------------------------------
+
+#: Set by the SIGTERM/SIGINT handler armed around checkpointed sweeps.
+#: The handler only flips this flag — it never raises — so a signal can
+#: never tear a journal line mid-write; _supervise polls it at task
+#: boundaries and raises SweepInterrupted at the next journal-safe
+#: point.
+_STOP_SIGNAL: int | None = None
+
+
+def _request_stop(signum, frame) -> None:
+    global _STOP_SIGNAL
+    _STOP_SIGNAL = signum
+
+
+def _interrupted() -> int | None:
+    return _STOP_SIGNAL
+
+
+def _arm_stop_signals() -> list[tuple[int, object]]:
+    """Install flag-setting SIGTERM/SIGINT handlers; return the
+    previous handlers for restoration (empty off the main thread,
+    where ``signal.signal`` is unavailable)."""
+    global _STOP_SIGNAL
+    _STOP_SIGNAL = None
+    installed: list[tuple[int, object]] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.signal(sig, _request_stop)
+        except ValueError:
+            continue
+        installed.append((sig, previous))
+    return installed
+
+
+def _disarm_stop_signals(installed: list[tuple[int, object]]) -> None:
+    for sig, previous in installed:
+        try:
+            signal.signal(sig, previous)
+        except ValueError:
+            pass
+
+
 def _supervise(tasks, worker, make_job, jobs, policy, profile,
                on_done, on_failed) -> None:
     """Run tasks to completion under the fault policy.
@@ -474,6 +520,13 @@ def _supervise(tasks, worker, make_job, jobs, policy, profile,
             on_failed(task.indices[0], exc, task.attempt + 1)
 
     while pending:
+        signum = _interrupted()
+        if signum is not None:
+            raise SweepInterrupted(
+                f"sweep stopped by signal {signum} with "
+                f"{sum(len(t.indices) for t in pending)} configs pending "
+                f"(journal intact; resume with --resume)"
+            )
         if serial:
             task = pending.popleft()
             try:
@@ -492,9 +545,10 @@ def _supervise(tasks, worker, make_job, jobs, policy, profile,
                    for t in round_tasks]
         broken = False
         for fut, task in futures:
-            if broken:
-                # The pool is gone; harvest whatever already finished
-                # and requeue the rest untouched (no attempt charged).
+            if broken or _interrupted() is not None:
+                # The pool is gone (or a stop signal arrived); harvest
+                # whatever already finished and requeue the rest
+                # untouched (no attempt charged).
                 harvested = None
                 if fut.done():
                     try:
@@ -835,6 +889,12 @@ def measure_many(
     (``checkpoint_hits``) and only the rest are re-measured — the
     journal stores exact float values via JSON round-trip, so resumed
     tables are byte-identical to uninterrupted runs.
+
+    While a checkpointed sweep runs, SIGTERM/SIGINT are held to the
+    next task boundary: the journal is flushed and closed with every
+    completed config intact, then :class:`~repro.errors.SweepInterrupted`
+    propagates (the CLI maps it to exit code 3), so a later ``resume``
+    run reproduces the full table byte-identically.
     """
     if sweep_mode not in SWEEP_MODES:
         raise BenchError(
@@ -865,6 +925,12 @@ def measure_many(
         if path.parent != Path(""):
             path.parent.mkdir(parents=True, exist_ok=True)
         journal = path.open("a", encoding="utf-8")
+
+    # Checkpointed sweeps trade instant death for journal integrity:
+    # SIGTERM/SIGINT set a flag the supervisor polls at task
+    # boundaries, so every completed config is flushed before
+    # SweepInterrupted propagates (the CLI maps it to exit code 3).
+    stop_handlers = _arm_stop_signals() if journal is not None else []
 
     pending = [idx for idx in range(len(configs)) if results[idx] is None]
 
@@ -914,7 +980,15 @@ def measure_many(
             else:
                 worker = _measure_sweep_chunk
                 if effective_jobs <= 1 or len(pending) <= 1:
-                    bins = [list(pending)]
+                    if policy.checkpoint is not None and len(pending) > 1:
+                        # Serial checkpointed sweeps run one task per
+                        # config: the journal then records progress at
+                        # every config boundary, and a stop signal
+                        # (SIGTERM/SIGINT) lands between configs
+                        # instead of waiting out the whole sweep.
+                        bins = [[idx] for idx in pending]
+                    else:
+                        bins = [list(pending)]
                 else:
                     # One balanced chunk per worker by default — task
                     # dispatch/pickling is the scaling killer on small
@@ -936,7 +1010,9 @@ def measure_many(
             _supervise([_Task(b) for b in bins], worker, make_job,
                        effective_jobs, policy, profile, on_done, on_failed)
     finally:
+        _disarm_stop_signals(stop_handlers)
         if journal is not None:
+            journal.flush()
             journal.close()
 
     failures = [r for r in results if isinstance(r, FailedMeasurement)]

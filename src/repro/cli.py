@@ -18,6 +18,10 @@ Commands
 ``bench NAME``
     Regenerate one of the paper's evaluation artifacts
     (``table1``, ``table2``, ``fig11``, ``fig12``, ``coverage``).
+``serve``
+    Run the long-lived simdization service (``/simdize``, ``/verify``,
+    ``/sweep``, ``/healthz``, ``/stats``) until SIGTERM, then drain
+    gracefully.  See DESIGN.md §7.
 
 Every command reads the loop from a mini-C source file (see
 ``repro.lang``), or from stdin when FILE is ``-``.
@@ -28,7 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import SimdalError, VerificationError
+from repro.errors import SimdalError, SweepInterrupted, VerificationError
 from repro.lang import compile_source
 from repro.machine.backend import BACKEND_CHOICES, SCALAR_BACKEND_CHOICES
 from repro.simdize.options import SimdOptions
@@ -270,6 +274,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, serve_forever
+
+    _apply_cache_dir(args)
+    config = ServeConfig.from_env()
+    overrides = {
+        "host": args.host, "port": args.port, "workers": args.workers,
+        "max_inflight": args.max_inflight, "max_queue": args.max_queue,
+        "deadline": args.deadline, "compile_budget": args.compile_budget,
+        "breaker_threshold": args.breaker_threshold,
+        "breaker_cooldown": args.breaker_cooldown,
+        "drain_timeout": args.drain_timeout,
+    }
+    for name, value in overrides.items():
+        if value is not None:
+            setattr(config, name, value)
+    return asyncio.run(serve_forever(config))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -348,6 +373,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_options(p)
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser("serve", help="run the simdization HTTP service")
+    p.add_argument("--host", default=None,
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port (default 8787; 0 picks a free port, "
+                        "printed on the ready line)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads for CPU-bound request work")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   dest="max_inflight",
+                   help="concurrent requests admitted (default 8)")
+    p.add_argument("--max-queue", type=int, default=None, dest="max_queue",
+                   help="waiting requests beyond which the server sheds "
+                        "load with 429 (default 32)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default per-request budget; requests may lower or "
+                        "raise theirs with an X-Repro-Deadline header")
+    p.add_argument("--compile-budget", type=float, default=None,
+                   dest="compile_budget", metavar="SECONDS",
+                   help="native warmup budget before the circuit breaker "
+                        "counts a failure")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   dest="breaker_threshold",
+                   help="consecutive compile failures that trip the breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=None,
+                   dest="breaker_cooldown", metavar="SECONDS",
+                   help="open time before a half-open probe is admitted")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   dest="drain_timeout", metavar="SECONDS",
+                   help="grace for in-flight requests on SIGTERM")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="disk cache for compiled artifacts (default "
+                        "~/.cache/repro or $REPRO_CACHE_DIR; '' disables)")
+    p.set_defaults(func=cmd_serve, async_compile=False)
+
     return parser
 
 
@@ -358,7 +418,11 @@ def main(argv: list[str] | None = None) -> int:
     (:class:`~repro.errors.SimdalError`), 2 usage errors (argparse),
     3 a verification mismatch — the one failure a reproduction must
     never paper over, so scripts can tell it apart from I/O or
-    configuration problems.  Library errors print one ``error:`` line,
+    configuration problems.  A checkpointed sweep stopped by
+    SIGTERM/SIGINT also exits 3 (:class:`~repro.errors.SweepInterrupted`):
+    the journal is intact and ``--resume`` completes the table
+    byte-identically, so scripts must not mistake it for success or for
+    a data-loss failure.  Library errors print one ``error:`` line,
     never a traceback.
     """
     parser = build_parser()
@@ -367,6 +431,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except VerificationError as exc:
         print(f"verification mismatch: {exc}", file=sys.stderr)
+        return 3
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
         return 3
     except SimdalError as exc:
         print(f"error: {exc}", file=sys.stderr)

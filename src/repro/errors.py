@@ -84,6 +84,22 @@ class CacheError(SimdalError):
     """Disk-cache layer failure that could not be degraded silently."""
 
 
+class SweepInterrupted(SimdalError):
+    """A checkpointed sweep was stopped by SIGTERM/SIGINT.
+
+    Raised at a journal-safe point (between supervised tasks, never
+    mid-write), so the checkpoint holds every completed config intact
+    and a ``--resume`` run reproduces the table byte-identically.  The
+    CLI maps it to exit code 3: the sweep did not finish, but nothing
+    was lost.
+    """
+
+
+class ServeError(SimdalError):
+    """A request the serving layer could not turn into a clean response
+    (bad payload, unknown endpoint parameters)."""
+
+
 class FaultInjected(SimdalError):
     """An error injected by the ``REPRO_FAULT`` test harness.
 

@@ -11,8 +11,9 @@ Grammar (comma-separated specs)::
 
     REPRO_FAULT = spec[,spec...]
     spec        = phase:kind[:prob[:seed]]
-    phase       = compile | execute | worker | cache
+    phase       = compile | execute | worker | cache | serve
     kind        = raise | kill | corrupt | timeout
+                | reject | delay | disconnect
     prob        = float in [0, 1] (default 1), or the token "once"
     seed        = int seeding the per-process decision stream (default 0)
 
@@ -20,7 +21,8 @@ Examples: ``compile:raise`` (every jit kernel compile raises),
 ``worker:kill:0.5:42`` (half of all worker chunks die, seeded),
 ``worker:raise:once`` (the first chunk in each process raises, later
 ones succeed — deterministic retry testing), ``cache:corrupt`` (every
-disk-cache read comes back mangled).
+disk-cache read comes back mangled), ``serve:disconnect:0.3:7`` (the
+server hangs up on ~30 % of requests, seeded).
 
 Kinds:
 
@@ -33,6 +35,13 @@ Kinds:
 * ``corrupt`` — only meaningful for the ``cache`` phase: bytes read
   from the disk cache are mangled before unpickling
   (:func:`mangle`), driving the corrupt-entry quarantine.
+* ``reject`` / ``delay`` / ``disconnect`` — the serving layer's fault
+  surface (:mod:`repro.serve`), consumed through :func:`decision`
+  rather than :func:`fault`: ``reject`` sheds the request with a 429
+  before admission, ``delay`` stalls the handler inside its admission
+  slot for ``REPRO_FAULT_SLEEP`` seconds (driving deadline and
+  overload paths), and ``disconnect`` drops the connection without a
+  response.  These kinds are inert in every non-serve phase.
 
 Cost discipline: when ``REPRO_FAULT`` is unset the hooks must be free.
 The spec table is parsed lazily once per process; after that every
@@ -50,9 +59,15 @@ import time
 from repro.errors import FaultInjected, SimdalError
 
 #: Recognized hook-point names.
-PHASES = ("compile", "execute", "worker", "cache")
+PHASES = ("compile", "execute", "worker", "cache", "serve")
 #: Recognized failure kinds.
-KINDS = ("raise", "kill", "corrupt", "timeout")
+KINDS = ("raise", "kill", "corrupt", "timeout",
+         "reject", "delay", "disconnect")
+
+#: Kinds the generic :func:`fault` hook acts on; the rest are
+#: interpreted by their phase's own consumer (serve uses
+#: :func:`decision`, cache reads ``corrupt`` through :func:`mangle`).
+_GENERIC_KINDS = ("raise", "kill", "timeout")
 
 #: Seconds a ``timeout`` fault sleeps (override for fast tests).
 _SLEEP_ENV = "REPRO_FAULT_SLEEP"
@@ -158,7 +173,7 @@ def fault(phase: str) -> None:
     if not specs:
         return
     for spec in specs.get(phase, ()):
-        if spec.kind == "corrupt" or not spec.should_fire():
+        if spec.kind not in _GENERIC_KINDS or not spec.should_fire():
             continue
         if spec.kind == "raise":
             raise FaultInjected(phase)
@@ -167,7 +182,7 @@ def fault(phase: str) -> None:
                 os._exit(77)
             continue  # never kill the supervisor
         if spec.kind == "timeout":
-            time.sleep(float(os.environ.get(_SLEEP_ENV, _DEFAULT_SLEEP)))
+            time.sleep(sleep_seconds())
 
 
 def mangle(phase: str, data: bytes) -> bytes:
@@ -186,6 +201,30 @@ def mangle(phase: str, data: bytes) -> bytes:
             mangled[0] ^= 0xFF
             return bytes(mangled)
     return data
+
+
+def decision(phase: str) -> str | None:
+    """Which armed fault kind fires for ``phase``, or None.
+
+    The caller interprets the kind instead of this module acting on it
+    — the serving layer maps ``reject``/``delay``/``disconnect`` (and
+    ``raise``) onto protocol behaviour at the right points of the
+    request lifecycle.  At most one kind is returned per call, in spec
+    order, so arming several kinds on one phase exercises them in a
+    deterministic sequence.  Free when no faults are configured.
+    """
+    specs = _specs()
+    if not specs:
+        return None
+    for spec in specs.get(phase, ()):
+        if spec.should_fire():
+            return spec.kind
+    return None
+
+
+def sleep_seconds() -> float:
+    """The armed ``timeout``/``delay`` stall length (REPRO_FAULT_SLEEP)."""
+    return float(os.environ.get(_SLEEP_ENV, _DEFAULT_SLEEP))
 
 
 def active() -> bool:

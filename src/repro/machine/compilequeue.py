@@ -39,10 +39,12 @@ compiler seconds overlap run time instead of extending it.
 
 from __future__ import annotations
 
+import atexit
 import ctypes
 import hashlib
 import itertools
 import os
+import signal
 import subprocess
 import threading
 import time
@@ -100,6 +102,38 @@ def precompile_enabled() -> bool:
 
 #: Monotonic suffix for compiled shared objects (see compile_requests).
 _SO_SEQ = itertools.count()
+
+
+def _run_cc(argv):
+    """Run one ``cc`` invocation with a wall-clock budget.
+
+    The subprocess gets its own session so a hang (a wedged linker, an
+    injected ``compile:timeout``) can be killed as a whole process
+    group — ``cc`` is a driver that forks cc1/as/ld children, and
+    killing only the driver would leak them.  Returns a completed-
+    process-shaped object; on timeout ``returncode`` is None and
+    ``stderr`` carries the budget, so callers charge the batch exactly
+    like any other nonzero exit.
+    """
+    native = _nat()
+    budget = native.cc_timeout()
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        start_new_session=True,
+    )
+    try:
+        stdout, stderr = proc.communicate(timeout=budget)
+    except subprocess.TimeoutExpired:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            proc.kill()
+        proc.wait()
+        native.STATS["cc_timeouts"] += 1
+        return subprocess.CompletedProcess(
+            argv, None, "",
+            f"cc timed out after {budget:g}s (REPRO_CC_TIMEOUT)")
+    return subprocess.CompletedProcess(argv, proc.returncode, stdout, stderr)
 
 
 @dataclass
@@ -162,11 +196,10 @@ def compile_requests(requests, disk):
     # by a live dlopen handle — instant SIGBUS on the next symbol call.
     so_path = work / f"tu_{batch_id}_{next(_SO_SEQ)}.so"
     start = time.perf_counter()
-    proc = subprocess.run(
+    proc = _run_cc(
         [cc, *native.compiler_flags(), "-shared", "-fPIC",
          "-o", str(so_path)]
         + [str(path) for path in c_paths],
-        capture_output=True, text=True,
     )
     cc_s = time.perf_counter() - start
     native.STATS["cc_invocations"] += 1
@@ -341,10 +374,17 @@ class _CompileQueue:
         self._kernels: dict[str, object] = {}
         self._busy = 0
         self._thread: threading.Thread | None = None
+        self._shutdown = False
 
     def submit(self, request: CompileRequest, kernel) -> None:
         native = _nat()
         with self._cond:
+            if self._shutdown:
+                # Interpreter is tearing down: finalize the placeholder
+                # as a permanent jit delegate instead of orphaning it
+                # in a pending state no worker will ever resolve.
+                kernel.pending = False
+                return
             if request.signature not in self._pending:
                 self._pending[request.signature] = request
                 self._kernels[request.signature] = kernel
@@ -378,10 +418,35 @@ class _CompileQueue:
             self._kernels.clear()
             self._cond.notify_all()
 
+    def shutdown(self, timeout: float = 5.0) -> bool:
+        """Stop the worker deterministically (atexit / tests).
+
+        Pending-but-unstarted work is dropped — their placeholder
+        kernels are finalized as jit delegates — and the worker thread
+        is asked to exit once its in-flight batch (if any) completes,
+        then joined with ``timeout``.  Returns False if the join timed
+        out (a wedged cc already bounded by :func:`_run_cc`'s budget).
+        Idempotent; ``submit`` after shutdown is a no-op.
+        """
+        with self._cond:
+            self._shutdown = True
+            for kernel in self._kernels.values():
+                kernel.pending = False
+            self._pending.clear()
+            self._kernels.clear()
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is None or not thread.is_alive():
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
     def _run(self):
         while True:
             with self._cond:
                 while not self._pending:
+                    if self._shutdown:
+                        return
                     self._cond.wait()
                 batch = list(self._pending.values())
                 kernels = dict(self._kernels)
@@ -436,6 +501,16 @@ _QUEUE = _CompileQueue()
 if hasattr(os, "register_at_fork"):
     os.register_at_fork(after_in_child=_QUEUE._reset)
 
+# Deterministic teardown: without this, interpreter exit races the
+# daemon worker mid-cc — Python tears down module globals while the
+# thread still references them, spraying ignored exceptions on stderr.
+atexit.register(_QUEUE.shutdown)
+
+
+def shutdown(timeout: float = 5.0) -> bool:
+    """Shut the background queue down deterministically (idempotent)."""
+    return _QUEUE.shutdown(timeout)
+
 
 def enqueue(signature: str, key: str, jk, program, kernel) -> bool:
     """Queue a background compile that will hot-swap into ``kernel``.
@@ -459,6 +534,12 @@ def drain(timeout: float | None = None) -> bool:
 
 
 def reset_queue() -> None:
-    """Drop queued work and wait out in-flight batches (test hook)."""
+    """Drop queued work and wait out in-flight batches (test hook).
+
+    Also revives a queue a previous test shut down, so cases that
+    exercise :func:`shutdown` do not leak a dead queue into later ones.
+    """
     _QUEUE.clear()
     _QUEUE.drain()
+    with _QUEUE._cond:
+        _QUEUE._shutdown = False

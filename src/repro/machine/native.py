@@ -140,6 +140,7 @@ STATS = {
     "cc_s": 0.0,           # foreground seconds inside the system compiler
     "load_s": 0.0,         # foreground seconds loading shared objects
     "cc_invocations": 0,   # compiler subprocesses launched
+    "cc_timeouts": 0,      # invocations killed at REPRO_CC_TIMEOUT
     "tus": 0,              # translation units fed to those invocations
     "tu_kernels": 0,       # kernels carried by successful batches
     "precompiled": 0,      # kernels compiled ahead by the sweep pipeline
@@ -746,6 +747,32 @@ def _cc_env() -> str:
     return os.environ.get("REPRO_CC") or os.environ.get("CC") or ""
 
 
+#: Default wall-clock budget for one compiler subprocess (seconds).
+_CC_TIMEOUT_DEFAULT = 120.0
+
+
+def cc_timeout() -> float:
+    """Wall-clock budget for every ``cc`` subprocess (seconds).
+
+    ``REPRO_CC_TIMEOUT`` overrides the 120 s default.  A hung compiler
+    (broken ccache daemon, dead NFS mount behind the toolchain) used
+    to stall the batch pipeline forever; every invocation — probes and
+    kernel compiles alike — now runs under this budget, and an
+    overrunning compile has its whole process group killed and is
+    charged as an ordinary batch failure (singleton-recompile
+    isolation included).
+    """
+    raw = os.environ.get("REPRO_CC_TIMEOUT", "")
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return _CC_TIMEOUT_DEFAULT
+
+
 def _compiler_identity() -> tuple[str | None, str]:
     """(compiler executable, identity hash) — memoized per request.
 
@@ -768,7 +795,7 @@ def _compiler_identity() -> tuple[str | None, str]:
         return _CC[1]
     try:
         proc = subprocess.run([found, "--version"], capture_output=True,
-                              text=True, timeout=30)
+                              text=True, timeout=min(30.0, cc_timeout()))
         banner = (proc.stdout or proc.stderr).splitlines()[0] if \
             (proc.stdout or proc.stderr) else ""
     except Exception:
@@ -811,7 +838,7 @@ def _try_compile(cc: str, args: list, source: str, stem: str) -> bool:
         path.write_text(source)
         proc = subprocess.run(
             [cc, *args, "-fsyntax-only", str(path)],
-            capture_output=True, text=True, timeout=60,
+            capture_output=True, text=True, timeout=min(60.0, cc_timeout()),
         )
         return proc.returncode == 0
     except Exception:

@@ -1,0 +1,111 @@
+"""Circuit breaker for the native compile pipeline.
+
+The server's slowest dependency is the host C toolchain: one wedged
+``cc`` (or a burst of failing compiles under fault injection) must not
+queue every native-tier request behind a doomed subprocess.  The
+breaker wraps that dependency with the classic three-state machine:
+
+* **closed** — requests use the native tier; consecutive compile
+  failures are counted, and reaching ``threshold`` trips to *open*.
+* **open** — the native tier is skipped entirely (the server degrades
+  those requests to jit and says so in response metadata).  After
+  ``cooldown`` seconds the next candidate request is admitted as a
+  *half-open* probe.
+* **half-open** — exactly one in-flight probe; its success closes the
+  breaker, its failure re-opens it for another full cooldown.
+
+The clock is injected (default ``time.monotonic``) so tests drive the
+cooldown deterministically, and every transition is counted for
+``/stats``.  Thread-safety: all calls happen on the event-loop thread,
+so no locking is needed — the class is deliberately not thread-safe.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: State names, as reported by /stats and asserted by tests.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0          # consecutive, while closed
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0              # closed/half-open -> open transitions
+        self.recoveries = 0         # half-open -> closed transitions
+
+    @property
+    def state(self) -> str:
+        # An expired cooldown reads as half-open: the *next* allow()
+        # will admit the probe that actually moves the machine.
+        if self._state == OPEN and not self._cooling():
+            return HALF_OPEN
+        return self._state
+
+    def _cooling(self) -> bool:
+        return self._clock() - self._opened_at < self.cooldown
+
+    def allow(self) -> bool:
+        """May this request use the guarded tier right now?
+
+        In open state: False while cooling down; after the cooldown
+        the first caller is admitted as the half-open probe and
+        subsequent callers stay rejected until the probe reports.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN and not self._cooling():
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+        if self._state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def success(self) -> None:
+        """The guarded call succeeded."""
+        if self._state == HALF_OPEN:
+            self.recoveries += 1
+        self._state = CLOSED
+        self._failures = 0
+        self._probe_inflight = False
+
+    def failure(self) -> None:
+        """The guarded call failed (or timed out)."""
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        if self._state == OPEN:
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._probe_inflight = False
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    def snapshot(self) -> dict:
+        """State + counters for /stats."""
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown,
+            "consecutive_failures": self._failures,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+        }

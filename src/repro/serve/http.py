@@ -1,0 +1,144 @@
+"""A tiny HTTP/1.1 layer over asyncio streams.
+
+The serving tier (:mod:`repro.serve.app`) needs exactly four things
+from HTTP: parse a request line + headers + optional body, expose the
+query string, emit a status/headers/body response, and never let a
+malformed peer take the process down.  The standard library's
+``http.server`` is thread-per-connection and ``asyncio``'s own stack
+stops at raw streams, so this module implements the protocol subset
+directly — one request per connection, ``Connection: close`` on every
+response — rather than pulling in a framework the container doesn't
+have.
+
+Limits are hard: request line and each header capped at 8 KiB, at
+most 64 headers, bodies capped at 1 MiB (:data:`MAX_BODY`).  Anything
+over a limit or syntactically broken raises :class:`BadRequest`,
+which the connection handler maps to a 400/413 and a closed socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard cap on request bodies (bytes); larger requests get a 413.
+MAX_BODY = 1 << 20
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+#: Status lines for every code the app emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """Malformed or over-limit request; carries the status to answer."""
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str                      # target path without the query string
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off ``reader``; None on clean EOF.
+
+    Raises :class:`BadRequest` on protocol violations and
+    ``asyncio.IncompleteReadError``/``LimitOverrunError`` surface as
+    BadRequest too, so callers have a single error type to answer.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise BadRequest(f"request line unreadable: {exc}") from None
+    if not line:
+        return None
+    if len(line) > _MAX_LINE:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise BadRequest(f"header unreadable: {exc}") from None
+        if not line:
+            raise BadRequest("connection closed inside headers")
+        if len(line) > _MAX_LINE:
+            raise BadRequest("header line too long")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= _MAX_HEADERS:
+            raise BadRequest("too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise BadRequest(f"bad content-length {raw_length!r}") from None
+        if length < 0:
+            raise BadRequest(f"bad content-length {raw_length!r}")
+        if length > MAX_BODY:
+            raise BadRequest("request body too large", status=413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("connection closed inside body") from None
+    elif "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest("chunked request bodies are not supported")
+
+    return Request(method=method, path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one complete ``Connection: close`` response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,62 @@
+"""Single-flight coalescing of identical concurrent work.
+
+When N clients ask the server for the same thing at the same time —
+the same program simdized, the same figure swept, the same signature
+compiled — exactly one of them should pay for it.  ``SingleFlight``
+keys in-flight tasks; the first caller for a key becomes the *leader*
+and starts the work, later callers become *followers* that await the
+leader's task.  The task is deliberately detached from any one
+request's lifetime: a follower (or even the leader) hitting its
+deadline abandons its *await* — via ``asyncio.shield`` at the call
+site — without cancelling the shared task, so late-arriving twins
+still coalesce onto work already in progress and a warm result still
+lands in the caches.
+
+Event-loop-thread only, like everything else in :mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class SingleFlight:
+    """In-flight task table keyed by request identity."""
+
+    def __init__(self):
+        self._inflight: dict[object, asyncio.Task] = {}
+        self.leaders = 0     # tasks started
+        self.coalesced = 0   # callers that joined an existing task
+
+    def task_for(self, key, factory) -> tuple[asyncio.Task, bool]:
+        """The shared task for ``key`` (started via ``factory()`` if
+        absent) and whether this caller is the leader.
+
+        Callers await it as ``await asyncio.shield(task)`` so their own
+        cancellation never kills work their twins are waiting on.
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            self.coalesced += 1
+            return task, False
+        task = asyncio.ensure_future(factory())
+        self._inflight[key] = task
+        self.leaders += 1
+
+        def _done(finished: asyncio.Task, key=key) -> None:
+            self._inflight.pop(key, None)
+            if not finished.cancelled():
+                finished.exception()  # consume: every caller may be gone
+
+        task.add_done_callback(_done)
+        return task, True
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "leaders": self.leaders,
+            "coalesced": self.coalesced,
+        }

@@ -254,7 +254,7 @@ class TestAsyncQueue:
             return types.SimpleNamespace(returncode=1, stdout="",
                                          stderr="ICE: exploding compiler")
 
-        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue, "_run_cc", broken_cc)
         program = simdize(build_fig1(trip=101), 16,
                           SimdOptions(policy="zero", reuse="sp")).program
         compilequeue.set_async_compile(True)
@@ -304,7 +304,7 @@ class TestCompilerResolution:
 
         program = simdize(build_fig1(trip=103), 16,
                           SimdOptions(policy="zero", reuse="sp")).program
-        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue, "_run_cc", broken_cc)
         with pytest.raises(native.NativeUnavailable):
             native.get_native_kernel(program)
         assert native._FAILED
@@ -566,3 +566,122 @@ class TestModeDifferential:
                 compilequeue.set_async_compile(None)
         for mode, got in results.items():
             assert got == oracle, f"{mode} diverged from bytes oracle"
+
+
+# ---------------------------------------------------------------------------
+# The cc wall-clock budget (REPRO_CC_TIMEOUT)
+# ---------------------------------------------------------------------------
+
+class TestCcTimeout:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CC_TIMEOUT", raising=False)
+        assert native.cc_timeout() == native._CC_TIMEOUT_DEFAULT
+        monkeypatch.setenv("REPRO_CC_TIMEOUT", "7.5")
+        assert native.cc_timeout() == 7.5
+        for bad in ("0", "-3", "junk", ""):
+            monkeypatch.setenv("REPRO_CC_TIMEOUT", bad)
+            assert native.cc_timeout() == native._CC_TIMEOUT_DEFAULT
+
+    @needs_cc
+    def test_hung_cc_is_killed_and_run_degrades(self, tmp_path, monkeypatch):
+        """A compiler that hangs is killed at the budget: the whole
+        process group dies, the signature is charged as an ordinary cc
+        failure (memoized, degradable), and the stats record the kill."""
+        from repro import run_and_verify
+
+        fake = tmp_path / "hangcc"
+        fake.write_text(
+            '#!/bin/sh\n'
+            'for a in "$@"; do\n'
+            '  [ "$a" = --version ] && { echo fakecc 1.0; exit 0; }\n'
+            'done\n'
+            'sleep 30\n')
+        fake.chmod(0o755)
+        monkeypatch.setenv("REPRO_CC", str(fake))
+        monkeypatch.setenv("REPRO_CC_TIMEOUT", "0.3")
+        native.reset_compiler_cache()
+        before = native.STATS["cc_timeouts"]
+        program = simdize(build_fig1(trip=107), 16,
+                          SimdOptions(policy="zero", reuse="sp")).program
+        with pytest.raises(native.NativeUnavailable, match="timed out"):
+            native.get_native_kernel(program)
+        assert native.STATS["cc_timeouts"] > before
+        # Same toolchain, resilient chain: the run degrades to jit and
+        # still verifies instead of hanging for the sleep's 30 s.
+        report = run_and_verify(program, backend="native")
+        assert report.fallback is not None
+        assert report.fallback["phase"] == "compile"
+        assert report.fallback["tier"] == "jit"
+        monkeypatch.undo()
+        native.reset_compiler_cache()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic queue shutdown (atexit) — PR 10 satellite
+# ---------------------------------------------------------------------------
+
+class TestQueueShutdown:
+    def test_shutdown_is_idempotent(self):
+        assert compilequeue.shutdown(timeout=5.0)
+        assert compilequeue.shutdown(timeout=5.0)   # second call: no-op True
+
+    @needs_cc
+    def test_submit_after_shutdown_finalizes_jit_delegate(self):
+        """Work arriving during interpreter teardown is not orphaned in
+        a pending state: the placeholder becomes a permanent jit
+        delegate and runs stay byte-correct."""
+        program = simdize(build_fig1(trip=109), 16,
+                          SimdOptions(policy="zero", reuse="sp")).program
+        compilequeue.set_async_compile(True)
+        assert compilequeue.shutdown(timeout=5.0)
+        kernel = native.get_native_kernel(program)
+        assert not kernel.pending and kernel.cfn is None
+        snap, counters, fallback = run_native(program)
+        assert not fallback
+
+    @needs_cc
+    def test_reset_queue_revives_after_shutdown(self):
+        assert compilequeue.shutdown(timeout=5.0)
+        compilequeue.reset_queue()
+        program = simdize(build_fig1(trip=113), 16,
+                          SimdOptions(policy="zero", reuse="sp")).program
+        compilequeue.set_async_compile(True)
+        kernel = native.get_native_kernel(program)
+        assert kernel.pending
+        assert compilequeue.drain(timeout=60.0)
+        assert kernel.cfn is not None
+
+    @needs_cc
+    def test_interpreter_exit_is_clean_with_inflight_async(self, tmp_path):
+        """Exiting mid-async-compile must not spray 'Exception ignored'
+        teardown noise: the atexit hook drains the daemon worker
+        deterministically before module globals are torn down."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        root = Path(__file__).resolve().parent.parent
+        code = textwrap.dedent("""
+            from repro.lang import compile_source
+            from repro.machine import native
+            from repro.simdize import SimdOptions, simdize
+
+            src = ("int a[256]; int b[256]; int c[256]; "
+                   "for (i = 0; i < 150; i++) { a[i] = b[i+1] + c[i+2]; }")
+            program = simdize(compile_source(src), 16, SimdOptions()).program
+            kernel = native.get_native_kernel(program)
+            print("queued:", kernel.pending)
+            # exit immediately: no drain, the compile may be in flight
+        """)
+        env = dict(os.environ,
+                   PYTHONPATH=str(root / "src"),
+                   REPRO_NATIVE_ASYNC="1",
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, env=env,
+                              cwd=str(root), timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "queued:" in proc.stdout
+        assert "Exception ignored" not in proc.stderr, proc.stderr
+        assert "Traceback" not in proc.stderr, proc.stderr

@@ -287,7 +287,7 @@ class TestDegradation:
             return types.SimpleNamespace(returncode=1, stdout="",
                                          stderr="ICE: exploding compiler")
 
-        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue, "_run_cc", broken_cc)
         program = fig1_program()
         with pytest.raises(native.NativeUnavailable, match="exploding"):
             native.get_native_kernel(program)
@@ -303,7 +303,7 @@ class TestDegradation:
         def broken_cc(cmd, **kwargs):
             return types.SimpleNamespace(returncode=1, stdout="", stderr="")
 
-        monkeypatch.setattr(compilequeue.subprocess, "run", broken_cc)
+        monkeypatch.setattr(compilequeue, "_run_cc", broken_cc)
         report = run_and_verify(fig1_program(), backend="native")
         assert report.fallback is not None
         assert report.fallback["tier"] == "jit"

@@ -11,6 +11,8 @@ buy survival with different results.
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import faults
 from repro.bench.runner import (
@@ -392,3 +394,194 @@ class TestExitCodes:
         assert main(["bench", "fig11", "--count", "1",
                      "--trip-count", "35"]) == 1
         assert "REPRO_FAULT" in capsys.readouterr().err
+
+class TestConcurrentDegradation:
+    """One shared ResilientBackend under concurrent fire (PR 10).
+
+    The serve tier keeps a single resilient engine per process and
+    hammers it from a worker pool; degradation must stay a per-run
+    property — every thread gets byte-identical results and exactly
+    one structured fallback record for its own run, never a shared or
+    accumulated one.
+    """
+
+    @needs_numpy
+    @settings(deadline=None, max_examples=6,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(threads=st.integers(min_value=2, max_value=6),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_threads_degrade_independently_and_identically(
+            self, threads, seed):
+        import os
+        import threading
+
+        from repro.machine import jit
+        from repro.machine.backend import get_backend
+
+        loop = build_fig1()
+        program = simdize(loop, 16, SimdOptions()).program
+
+        def fresh_memory():
+            rng = random.Random(seed)
+            space = make_space(loop, 16, rng)
+            mem = space.make_memory()
+            fill_random(space, mem, rng)
+            return space, mem
+
+        # Clean oracle on the tier the chain will land on.
+        space, mem = fresh_memory()
+        get_backend("numpy").run(program, space, mem, RunBindings())
+        oracle = mem.snapshot()
+
+        engine = get_resilient_backend("jit")
+        barrier = threading.Barrier(threads)
+        results: list = [None] * threads
+
+        def worker(idx: int) -> None:
+            space, mem = fresh_memory()
+            barrier.wait(timeout=30.0)
+            run = engine.run(program, space, mem, RunBindings())
+            results[idx] = (mem.snapshot(), run.fallback,
+                            run.counters.as_dict())
+
+        os.environ["REPRO_FAULT"] = "compile:raise"
+        faults.reload()
+        try:
+            jit.clear_memory_cache()  # force every thread through compile
+            pool = [threading.Thread(target=worker, args=(i,))
+                    for i in range(threads)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join(timeout=60.0)
+        finally:
+            os.environ.pop("REPRO_FAULT", None)
+            faults.reload()
+
+        assert all(r is not None for r in results), "a worker never finished"
+        snapshots = {snap for snap, _, _ in results}
+        assert snapshots == {oracle}  # byte-identical across all threads
+        counter_sets = {tuple(sorted(c.items())) for _, _, c in results}
+        assert len(counter_sets) == 1
+        # Exactly one fallback record per degraded run: present, fresh
+        # per run (not one shared dict), and correctly shaped.
+        records = [fb for _, fb, _ in results]
+        assert all(fb is not None for fb in records)
+        assert len({id(fb) for fb in records}) == threads
+        for fb in records:
+            assert fb["tier"] == "numpy"
+            assert fb["phase"] == "compile"
+            assert fb["failed"] == ("jit",)
+            assert "FaultInjected" in fb["reason"]
+
+
+class TestSweepInterrupt:
+    """SIGTERM/SIGINT during a checkpointed sweep (PR 10 satellite).
+
+    The stop must be journal-safe: flag-only signal handlers, a
+    SweepInterrupted raised at the next task boundary, a flushed
+    journal whose rows splice back byte-identically under --resume,
+    and CLI exit code 3.
+    """
+
+    def test_signal_stops_at_task_boundary_with_journal_intact(
+            self, tmp_path, monkeypatch):
+        import signal
+        import threading
+
+        from repro.errors import SweepInterrupted
+
+        configs = _sweep_configs(n=12)
+        clean = measure_many(configs, jobs=1)
+        journal = tmp_path / "sweep.jsonl"
+
+        # Slow each config down so the timer reliably lands mid-sweep.
+        monkeypatch.setenv("REPRO_FAULT_SLEEP", "0.05")
+        _arm(monkeypatch, "execute:timeout")
+        # Park a no-op handler in case the timer beats the arm/disarm
+        # window inside measure_many (it would otherwise kill pytest).
+        previous = signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        timer = threading.Timer(
+            0.2, signal.raise_signal, [signal.SIGTERM])
+        try:
+            timer.start()
+            with pytest.raises(SweepInterrupted, match="resume"):
+                measure_many(configs, jobs=1,
+                             run_policy=RunPolicy(checkpoint=journal))
+            # measure_many restored the handler it found installed.
+            assert signal.getsignal(signal.SIGTERM) is signal.SIG_IGN
+        finally:
+            timer.cancel()
+            signal.signal(signal.SIGTERM, previous)
+
+        lines = journal.read_text().splitlines()
+        assert 0 < len(lines) < len(configs)  # partial, flushed
+        import json as _json
+        for line in lines:
+            _json.loads(line)  # every journaled row is complete JSON
+
+        # Resume splices the journaled rows back float-exactly.
+        monkeypatch.delenv("REPRO_FAULT")
+        faults.reload()
+        profile = PhaseProfile()
+        rows = measure_many(configs, jobs=1, profile=profile,
+                            run_policy=RunPolicy(checkpoint=journal,
+                                                 resume=True))
+        assert rows == clean
+        assert profile.counts["checkpoint_hits"] == len(lines)
+
+    def test_cli_exits_3_and_resume_is_byte_identical(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        journal = tmp_path / "ck.jsonl"
+        env = dict(os.environ,
+                   PYTHONPATH=str(root / "src"),
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"),
+                   REPRO_FAULT="execute:timeout",
+                   REPRO_FAULT_SLEEP="0.05")
+        argv = [sys.executable, "-m", "repro", "bench", "fig11",
+                "--count", "2", "--trip-count", "35",
+                "--checkpoint", str(journal)]
+        proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True, env=env,
+                                cwd=str(root))
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if journal.exists() and journal.read_text().count("\n") >= 1:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            assert proc.poll() is None, proc.communicate()[1]
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 3, stderr
+        assert "interrupted:" in stderr
+        assert "resume" in stderr
+
+        # The fault-free oracle...
+        env.pop("REPRO_FAULT")
+        env.pop("REPRO_FAULT_SLEEP")
+        oracle = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "fig11",
+             "--count", "2", "--trip-count", "35"],
+            capture_output=True, text=True, env=env, cwd=str(root),
+            timeout=300)
+        assert oracle.returncode == 0, oracle.stderr
+        # ...equals the resumed run spliced from the partial journal.
+        resumed = subprocess.run(
+            argv + ["--resume"], capture_output=True, text=True, env=env,
+            cwd=str(root), timeout=300)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == oracle.stdout
